@@ -1,0 +1,12 @@
+"""Benchmark suite: one module per table/figure of the paper's Sec. V.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each bench module
+
+1. regenerates its figure/table's data series through
+   :mod:`repro.experiments.figures` (printed and written under
+   ``benchmarks/results/``), and
+2. times a representative query kernel with pytest-benchmark.
+
+Scale via ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_QUERIES`` (see
+``repro.experiments.datasets``).
+"""

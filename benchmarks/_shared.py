@@ -1,0 +1,42 @@
+"""Shared plumbing for the benchmark modules."""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+from repro.experiments import datasets as ds
+from repro.experiments import figures
+from repro.experiments.reporting import format_table
+from repro.experiments.workload import random_queries
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, rows, cols, title: str) -> None:
+    """Print a figure's table and persist it under ``benchmarks/results/``."""
+    text = format_table(rows, cols, title)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+# The fig3(a-c) series and fig7 share one expensive sweep each; cache them so
+# the three fig3 bench modules (time / examined / NN) reuse a single run.
+
+@functools.lru_cache(maxsize=None)
+def overall_sweep():
+    return figures.fig3_overall()
+
+
+@functools.lru_cache(maxsize=None)
+def osr_sweep():
+    return figures.fig7_osr()
+
+
+def representative_query(dataset: str, k: int = ds.DEFAULT_K,
+                         c_len: int = ds.DEFAULT_C_LEN):
+    """One deterministic query + engine for micro-benchmark kernels."""
+    engine = ds.engine_for(dataset)
+    workload = random_queries(engine.graph, 1, c_len, k, seed=97)
+    return engine, workload.queries[0]

@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the primitive operations behind Table X.
+
+The paper attributes the run-time gap between methods almost entirely to
+NN-query cost; these kernels measure each primitive in isolation on the
+FLA analogue:
+
+* hub-label point-to-point distance (merge join) vs plain / bidirectional
+  Dijkstra vs CH query;
+* FindNN next-neighbor over the inverted label index vs a resumable
+  Dijkstra cursor vs the restarting Dijkstra straw man.
+"""
+
+import random
+
+import pytest
+
+from repro.ch import build_ch, ch_distance
+from repro.experiments import datasets as ds
+from repro.nn import DijkstraNNFinder, LabelNNFinder
+from repro.paths.bidirectional import bidirectional_distance
+from repro.paths.dijkstra import dijkstra_distance
+
+
+@pytest.fixture(scope="module")
+def fla_engine():
+    return ds.engine_for("FLA")
+
+
+@pytest.fixture(scope="module")
+def pairs(fla_engine):
+    rng = random.Random(13)
+    n = fla_engine.graph.num_vertices
+    return [(rng.randrange(n), rng.randrange(n)) for _ in range(50)]
+
+
+def test_micro_label_distance(benchmark, fla_engine, pairs):
+    labels = fla_engine.labels
+    benchmark(lambda: [labels.distance(s, t) for s, t in pairs])
+
+
+def test_micro_dijkstra_distance(benchmark, fla_engine, pairs):
+    graph = fla_engine.graph
+    benchmark(lambda: [dijkstra_distance(graph, s, t) for s, t in pairs[:5]])
+
+
+def test_micro_bidirectional_distance(benchmark, fla_engine, pairs):
+    graph = fla_engine.graph
+    benchmark(lambda: [bidirectional_distance(graph, s, t) for s, t in pairs[:5]])
+
+
+@pytest.fixture(scope="module")
+def fla_ch(fla_engine):
+    return build_ch(fla_engine.graph)
+
+
+def test_micro_ch_distance(benchmark, fla_engine, fla_ch, pairs):
+    benchmark(lambda: [ch_distance(fla_ch, s, t) for s, t in pairs[:10]])
+
+
+def test_micro_findnn_label(benchmark, fla_engine):
+    def kernel():
+        finder = LabelNNFinder.from_index(fla_engine.labels, fla_engine.inverted)
+        for x in range(1, 11):
+            finder.find(0, 0, x)
+
+    benchmark(kernel)
+
+
+def test_micro_findnn_dijkstra_resume(benchmark, fla_engine):
+    def kernel():
+        finder = DijkstraNNFinder(fla_engine.graph, mode="resume")
+        for x in range(1, 11):
+            finder.find(0, 0, x)
+
+    benchmark(kernel)
+
+
+def test_micro_findnn_dijkstra_restart(benchmark, fla_engine):
+    def kernel():
+        finder = DijkstraNNFinder(fla_engine.graph, mode="restart")
+        for x in range(1, 4):
+            finder.find(0, 0, x)
+
+    benchmark(kernel)

@@ -1,0 +1,21 @@
+"""Table IX: preprocessing cost of the label + inverted indexes per graph.
+
+Paper shape: label build time and average label size grow with graph size;
+inverted-index construction is much cheaper than label construction.
+"""
+
+from repro.experiments import figures
+from repro.graph import generators
+from repro.labeling.pll import build_pruned_landmark_labels
+
+from benchmarks._shared import emit
+
+
+def test_table09_preprocessing(benchmark):
+    rows, cols = figures.table9_preprocessing()
+    emit("table09_preprocessing", rows, cols,
+         "Table IX — preprocessing results (scaled analogues)")
+    assert all(r["label_build_s"] > 0 for r in rows)
+    # Kernel: PLL construction on the CAL analogue at reduced scale.
+    graph = generators.cal(scale=0.1)
+    benchmark(build_pruned_landmark_labels, graph)

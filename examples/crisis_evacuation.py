@@ -1,0 +1,61 @@
+"""Crisis management with open-ended destinations (Sec. IV-C variants).
+
+The paper lists crisis management among the OSR/KOSR applications: an
+evacuation convoy must pass a triage point and then a supply depot, but
+may end wherever is convenient — the *no-destination* variant.  Dually,
+rescue teams stationed at any fire station can be dispatched — the
+*no-source* variant.  Both reduce to plain KOSR through virtual-terminal
+augmentation (see ``repro.core.variants``).
+
+Run:  python examples/crisis_evacuation.py
+"""
+
+import random
+
+from repro import kosr_without_destination, kosr_without_source
+from repro.graph import generators
+from repro.graph.categories import assign_uniform_categories
+
+
+def main() -> None:
+    graph = generators.road_network(22, 22, seed=5, directed=False)
+    rng = random.Random(6)
+    triage, depots, stations = assign_uniform_categories(
+        graph, 3, max(3, graph.num_vertices // 60), rng
+    )
+    print(f"disaster area: {graph.num_vertices} intersections, "
+          f"{graph.num_edges} road segments")
+    print(f"triage points: {sorted(graph.members(triage))}")
+    print(f"supply depots: {sorted(graph.members(depots))}")
+    print(f"fire stations: {sorted(graph.members(stations))}\n")
+
+    incident = rng.randrange(graph.num_vertices)
+
+    # Evacuation: leave the incident, pass triage then a depot, end anywhere.
+    print(f"evacuation from incident site {incident} "
+          f"(triage -> depot, open destination):")
+    plans = kosr_without_destination(graph, incident, [triage, depots], k=3,
+                                     method="PK")
+    for rank, item in enumerate(plans, 1):
+        _, t_stop, d_stop = item.witness.vertices
+        print(f"  plan #{rank}: cost {item.cost:7.2f}  triage at {t_stop}, "
+              f"ends at depot {d_stop}")
+
+    # StarKOSR also works here thanks to the virtual-destination heuristic
+    # (an extension over the paper, which falls back to PruningKOSR).
+    sk_plans = kosr_without_destination(graph, incident, [triage, depots],
+                                        k=3, method="SK")
+    assert [p.cost for p in sk_plans] == [p.cost for p in plans]
+    print("  (StarKOSR agrees through the virtual-destination heuristic)")
+
+    # Dispatch: any fire station may respond, passing a depot first.
+    print(f"\ndispatch to incident {incident} "
+          f"(any station -> depot -> incident):")
+    dispatch = kosr_without_source(graph, incident, [stations, depots], k=3)
+    for rank, item in enumerate(dispatch, 1):
+        station = item.witness.vertices[0]
+        print(f"  team #{rank}: cost {item.cost:7.2f}  from station {station}")
+
+
+if __name__ == "__main__":
+    main()

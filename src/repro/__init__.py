@@ -1,0 +1,95 @@
+"""repro — reproduction of "Finding Top-k Optimal Sequenced Routes" (ICDE 2018).
+
+Public API tour:
+
+* :class:`repro.graph.Graph` — directed weighted graphs with vertex
+  categories (Definition 1), plus builders/generators/IO in
+  :mod:`repro.graph`;
+* :class:`repro.core.KOSREngine` — build hub-label indexes once, answer
+  KOSR/OSR queries with any of the paper's methods (KPNE, PK, SK, SK-DB,
+  GSP) over any NN backend;
+* :mod:`repro.core.variants` — no-source / no-destination / preference
+  variants;
+* :mod:`repro.experiments` — the full Sec. V evaluation harness.
+"""
+
+from repro.types import (
+    Cost,
+    INFINITY,
+    Route,
+    SequencedResult,
+    Vertex,
+    Witness,
+)
+from repro.exceptions import (
+    BudgetExceededError,
+    EmptyCategoryError,
+    GraphError,
+    IndexBuildError,
+    IndexStorageError,
+    NegativeWeightError,
+    QueryError,
+    ReproError,
+    UnknownCategoryError,
+    UnknownVertexError,
+)
+from repro.graph import Graph
+from repro.core import (
+    KOSREngine,
+    KOSRResult,
+    KOSRQuery,
+    METHODS,
+    NN_BACKENDS,
+    PreprocessingStats,
+    QueryStats,
+    brute_force_kosr,
+    gsp_osr,
+    gsp_osr_ch,
+    kpne,
+    kosr_with_preferences,
+    kosr_without_destination,
+    kosr_without_source,
+    pruning_kosr,
+    star_kosr,
+)
+from repro.core.query import make_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cost",
+    "INFINITY",
+    "Route",
+    "SequencedResult",
+    "Vertex",
+    "Witness",
+    "BudgetExceededError",
+    "EmptyCategoryError",
+    "GraphError",
+    "IndexBuildError",
+    "IndexStorageError",
+    "NegativeWeightError",
+    "QueryError",
+    "ReproError",
+    "UnknownCategoryError",
+    "UnknownVertexError",
+    "Graph",
+    "KOSREngine",
+    "KOSRResult",
+    "KOSRQuery",
+    "METHODS",
+    "NN_BACKENDS",
+    "PreprocessingStats",
+    "QueryStats",
+    "brute_force_kosr",
+    "gsp_osr",
+    "gsp_osr_ch",
+    "kpne",
+    "kosr_with_preferences",
+    "kosr_without_destination",
+    "kosr_without_source",
+    "pruning_kosr",
+    "star_kosr",
+    "make_query",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Contraction hierarchies (Geisberger et al., WEA 2008).
+
+GSP — the state-of-the-art OSR comparator reproduced in
+:mod:`repro.core.gsp` — is engineered on top of contraction hierarchies in
+the original paper [29].  This package implements CH preprocessing (lazy
+edge-difference ordering with bounded witness searches) and the
+bidirectional upward query, so the comparator's substrate exists in this
+repository rather than being assumed.
+"""
+
+from repro.ch.contraction import ContractionHierarchy, build_ch
+from repro.ch.query import ch_distance, ch_path
+from repro.ch.many_to_many import many_to_many, offset_min_to_targets
+
+__all__ = [
+    "ContractionHierarchy",
+    "build_ch",
+    "ch_distance",
+    "ch_path",
+    "many_to_many",
+    "offset_min_to_targets",
+]

@@ -1,0 +1,179 @@
+"""CH preprocessing: node ordering and shortcut insertion.
+
+The contraction order uses the classic lazy-update heuristic: priority =
+edge difference (shortcuts added − incident edges removed) + number of
+already-contracted neighbors (keeps contraction spatially uniform).
+Witness searches are hop/settle bounded; a bounded witness search can only
+*add redundant* shortcuts (each shortcut mirrors a real path through the
+contracted vertex), never lose a needed one, so correctness is preserved.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.graph import Graph
+from repro.types import Cost, INFINITY, Vertex
+
+
+@dataclass
+class ContractionHierarchy:
+    """The product of CH preprocessing.
+
+    ``up_out[v]`` holds edges ``(u, w)`` with ``rank[u] > rank[v]`` traversed
+    by the forward upward search; ``up_in[v]`` the analogous backward
+    (downward-reversed) edges.  ``middle`` maps a shortcut ``(u, x)`` to the
+    contracted vertex it bypasses, for path unpacking.
+    """
+
+    rank: List[int]
+    up_out: List[Dict[Vertex, Cost]]
+    up_in: List[Dict[Vertex, Cost]]
+    middle: Dict[Tuple[Vertex, Vertex], Vertex]
+    num_shortcuts: int
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.rank)
+
+
+def _witness_exists(
+    adj: List[Dict[Vertex, Cost]],
+    source: Vertex,
+    target: Vertex,
+    skip: Vertex,
+    limit: Cost,
+    max_settled: int,
+) -> bool:
+    """Bounded Dijkstra in the remaining (uncontracted) graph.
+
+    True when a path from ``source`` to ``target`` avoiding ``skip`` with
+    cost ``<= limit`` is found within the settle budget.
+    """
+    dist: Dict[Vertex, Cost] = {source: 0.0}
+    heap: List[Tuple[Cost, Vertex]] = [(0.0, source)]
+    settled = 0
+    seen = set()
+    while heap and settled < max_settled:
+        d, u = heapq.heappop(heap)
+        if u in seen:
+            continue
+        seen.add(u)
+        settled += 1
+        if u == target:
+            return True
+        if d > limit:
+            return False
+        for v, w in adj[u].items():
+            if v == skip:
+                continue
+            nd = d + w
+            if nd <= limit and nd < dist.get(v, INFINITY):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist.get(target, INFINITY) <= limit
+
+
+def _simulate_contraction(
+    out_adj: List[Dict[Vertex, Cost]],
+    in_adj: List[Dict[Vertex, Cost]],
+    v: Vertex,
+    max_settled: int,
+    record: Optional[List[Tuple[Vertex, Vertex, Cost]]] = None,
+) -> int:
+    """Count (and optionally record) the shortcuts contracting ``v`` needs."""
+    shortcuts = 0
+    for u, w_in in in_adj[v].items():
+        if u == v:
+            continue
+        for x, w_out in out_adj[v].items():
+            if x == v or x == u:
+                continue
+            through = w_in + w_out
+            if not _witness_exists(out_adj, u, x, v, through, max_settled):
+                shortcuts += 1
+                if record is not None:
+                    record.append((u, x, through))
+    return shortcuts
+
+
+def build_ch(graph: Graph, witness_settle_limit: int = 60) -> ContractionHierarchy:
+    """Run CH preprocessing over ``graph``.
+
+    ``witness_settle_limit`` bounds each witness search; lower values speed
+    preprocessing at the cost of redundant shortcuts.
+    """
+    n = graph.num_vertices
+    out_adj: List[Dict[Vertex, Cost]] = [dict(graph.neighbors_out(v)) for v in range(n)]
+    in_adj: List[Dict[Vertex, Cost]] = [dict(graph.neighbors_in(v)) for v in range(n)]
+    # Remove self loops: they never participate in shortest paths.
+    for v in range(n):
+        out_adj[v].pop(v, None)
+        in_adj[v].pop(v, None)
+
+    contracted = [False] * n
+    deleted_neighbors = [0] * n
+    rank = [0] * n
+    middle: Dict[Tuple[Vertex, Vertex], Vertex] = {}
+    up_out: List[Dict[Vertex, Cost]] = [dict() for _ in range(n)]
+    up_in: List[Dict[Vertex, Cost]] = [dict() for _ in range(n)]
+    num_shortcuts = 0
+
+    def priority(v: Vertex) -> float:
+        shortcuts = _simulate_contraction(out_adj, in_adj, v, witness_settle_limit)
+        edges_removed = len(out_adj[v]) + len(in_adj[v])
+        return shortcuts - edges_removed + deleted_neighbors[v]
+
+    heap: List[Tuple[float, Vertex]] = [(priority(v), v) for v in range(n)]
+    heapq.heapify(heap)
+
+    next_rank = 0
+    while heap:
+        p, v = heapq.heappop(heap)
+        if contracted[v]:
+            continue
+        # Lazy update: recompute and reinsert unless still the minimum.
+        new_p = priority(v)
+        if heap and new_p > heap[0][0]:
+            heapq.heappush(heap, (new_p, v))
+            continue
+        # Contract v.
+        shortcut_list: List[Tuple[Vertex, Vertex, Cost]] = []
+        _simulate_contraction(out_adj, in_adj, v, witness_settle_limit, shortcut_list)
+        for u, x, w in shortcut_list:
+            existing = out_adj[u].get(x)
+            if existing is None or w < existing:
+                out_adj[u][x] = w
+                in_adj[x][u] = w
+                middle[(u, x)] = v
+                num_shortcuts += 1
+        # Record v's remaining edges as upward edges and remove v.
+        for u, w in in_adj[v].items():
+            # u -> v with v lower-ranked: backward upward edge of v... but v
+            # is being contracted now, so v is the LOWER end; edge u->v goes
+            # downward for u.  Store v's incident edges on v itself: the
+            # forward search from v climbs v->x (x contracted later = higher
+            # rank); the backward search into v climbs u->v reversed.
+            up_in[v][u] = min(up_in[v].get(u, INFINITY), w)
+            out_adj[u].pop(v, None)
+        for x, w in out_adj[v].items():
+            up_out[v][x] = min(up_out[v].get(x, INFINITY), w)
+            in_adj[x].pop(v, None)
+        out_adj[v].clear()
+        in_adj[v].clear()
+        contracted[v] = True
+        rank[v] = next_rank
+        next_rank += 1
+        # Update deleted-neighbor counts of the survivors.
+        for u in up_in[v]:
+            if not contracted[u]:
+                deleted_neighbors[u] += 1
+        for x in up_out[v]:
+            if not contracted[x]:
+                deleted_neighbors[x] += 1
+
+    return ContractionHierarchy(
+        rank=rank, up_out=up_out, up_in=up_in, middle=middle, num_shortcuts=num_shortcuts
+    )

@@ -1,0 +1,82 @@
+"""Many-to-many shortest-path tables over a contraction hierarchy.
+
+The original GSP engine [29] evaluates its per-category transition with
+CH-based searches rather than plain Dijkstra.  The standard tool is the
+*bucket algorithm* (Knopp et al., ALENEX 2007):
+
+1. run a **backward upward** search from every target ``t``; deposit
+   ``(t, d)`` into a bucket at every settled vertex;
+2. run a **forward upward** search from every source ``s``; at every
+   settled vertex scan its bucket and combine distances.
+
+Because upward search spaces are tiny, this beats |S| full Dijkstras when
+both sides are non-trivial — exactly the shape of GSP's category-to-
+category transitions, which :func:`repro.core.gsp.gsp_osr_ch` exploits.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+from repro.ch.contraction import ContractionHierarchy
+from repro.ch.query import _upward_search
+from repro.types import Cost, INFINITY, Vertex
+
+
+def many_to_many(
+    ch: ContractionHierarchy,
+    sources: Iterable[Vertex],
+    targets: Iterable[Vertex],
+) -> Dict[Tuple[Vertex, Vertex], Cost]:
+    """All finite ``(s, t) -> dis(s, t)`` pairs between the two sets."""
+    sources = list(dict.fromkeys(sources))
+    targets = list(dict.fromkeys(targets))
+    buckets: Dict[Vertex, List[Tuple[Vertex, Cost]]] = defaultdict(list)
+    for t in targets:
+        settled, _ = _upward_search(ch.up_in, t)
+        for v, d in settled.items():
+            buckets[v].append((t, d))
+    table: Dict[Tuple[Vertex, Vertex], Cost] = {}
+    for s in sources:
+        settled, _ = _upward_search(ch.up_out, s)
+        best: Dict[Vertex, Cost] = {}
+        for v, d_fwd in settled.items():
+            for t, d_bwd in buckets.get(v, ()):
+                total = d_fwd + d_bwd
+                if total < best.get(t, INFINITY):
+                    best[t] = total
+        for t, d in best.items():
+            table[(s, t)] = d
+    return table
+
+
+def offset_min_to_targets(
+    ch: ContractionHierarchy,
+    sources: Dict[Vertex, Cost],
+    targets: Iterable[Vertex],
+) -> Dict[Vertex, Tuple[Cost, Vertex]]:
+    """GSP's transition in one sweep over the hierarchy.
+
+    Given per-source offsets ``X[s]``, returns for each reachable target
+    ``t`` the pair ``(min_s X[s] + dis(s, t), argmin s)`` — the layer
+    update of the dynamic program plus the backtracking pointer.
+    """
+    targets = list(dict.fromkeys(targets))
+    buckets: Dict[Vertex, List[Tuple[Vertex, Cost]]] = defaultdict(list)
+    for t in targets:
+        settled, _ = _upward_search(ch.up_in, t)
+        for v, d in settled.items():
+            buckets[v].append((t, d))
+    best: Dict[Vertex, Tuple[Cost, Vertex]] = {}
+    for s, offset in sources.items():
+        if offset == INFINITY:
+            continue
+        settled, _ = _upward_search(ch.up_out, s)
+        for v, d_fwd in settled.items():
+            base = offset + d_fwd
+            for t, d_bwd in buckets.get(v, ()):
+                total = base + d_bwd
+                if total < best.get(t, (INFINITY, -1))[0]:
+                    best[t] = (total, s)
+    return best

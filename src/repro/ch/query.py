@@ -1,0 +1,92 @@
+"""CH queries: bidirectional upward Dijkstra and shortcut unpacking."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.ch.contraction import ContractionHierarchy
+from repro.types import Cost, INFINITY, Vertex
+
+
+def _upward_search(
+    adj: List[Dict[Vertex, Cost]], source: Vertex
+) -> Tuple[Dict[Vertex, Cost], Dict[Vertex, Vertex]]:
+    """Full Dijkstra over one upward graph (they are small by construction)."""
+    dist: Dict[Vertex, Cost] = {source: 0.0}
+    parent: Dict[Vertex, Vertex] = {}
+    heap: List[Tuple[Cost, Vertex]] = [(0.0, source)]
+    settled: Dict[Vertex, Cost] = {}
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled[u] = d
+        for v, w in adj[u].items():
+            nd = d + w
+            if nd < dist.get(v, INFINITY):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    return settled, parent
+
+
+def ch_distance(ch: ContractionHierarchy, source: Vertex, target: Vertex) -> Cost:
+    """Shortest-path distance via the hierarchy (INFINITY when unreachable)."""
+    if source == target:
+        return 0.0
+    fwd, _ = _upward_search(ch.up_out, source)
+    bwd, _ = _upward_search(ch.up_in, target)
+    best = INFINITY
+    small, large = (fwd, bwd) if len(fwd) <= len(bwd) else (bwd, fwd)
+    for v, d in small.items():
+        other = large.get(v)
+        if other is not None and d + other < best:
+            best = d + other
+    return best
+
+
+def _unpack(ch: ContractionHierarchy, u: Vertex, x: Vertex, out: List[Vertex]) -> None:
+    """Recursively expand shortcut ``(u, x)``; appends vertices after ``u``."""
+    mid = ch.middle.get((u, x))
+    if mid is None:
+        out.append(x)
+    else:
+        _unpack(ch, u, mid, out)
+        _unpack(ch, mid, x, out)
+
+
+def ch_path(
+    ch: ContractionHierarchy, source: Vertex, target: Vertex
+) -> Tuple[Cost, List[Vertex]]:
+    """Distance plus the unpacked shortest path in the original graph."""
+    if source == target:
+        return 0.0, [source]
+    fwd, parent_f = _upward_search(ch.up_out, source)
+    bwd, parent_b = _upward_search(ch.up_in, target)
+    best = INFINITY
+    meet: Optional[Vertex] = None
+    for v, d in fwd.items():
+        other = bwd.get(v)
+        if other is not None and d + other < best:
+            best = d + other
+            meet = v
+    if meet is None:
+        return INFINITY, []
+    # Climb the parent chains, then unpack every hierarchy edge.
+    up_chain = [meet]
+    while up_chain[-1] != source:
+        up_chain.append(parent_f[up_chain[-1]])
+    up_chain.reverse()  # source ... meet
+    down_chain = [meet]
+    while down_chain[-1] != target:
+        down_chain.append(parent_b[down_chain[-1]])
+    # down_chain: meet ... target, but edges are reversed originals.
+    path: List[Vertex] = [source]
+    for a, b in zip(up_chain, up_chain[1:]):
+        _unpack(ch, a, b, path)
+    for a, b in zip(down_chain, down_chain[1:]):
+        # In the backward climb ``a`` was relaxed from ``b`` via ``up_in[b][a]``,
+        # whose original orientation is the edge ``a -> b`` — unpack forward.
+        _unpack(ch, a, b, path)
+    return best, path

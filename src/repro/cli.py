@@ -1,0 +1,233 @@
+"""Command-line interface for the KOSR reproduction.
+
+Subcommands::
+
+    python -m repro.cli generate   --dataset FLA --scale 0.2 --out graph.json
+    python -m repro.cli info       --graph graph.json
+    python -m repro.cli preprocess --graph graph.json --out index_dir
+    python -m repro.cli query      --graph graph.json --source 0 --target 99 \
+                                   --categories cat0,cat3 --k 5 --method SK
+    python -m repro.cli figure     --name fig3a [--scale 0.2] [--queries 3]
+
+``generate`` writes a dataset analogue; ``preprocess`` builds the 2-hop
+label index (saving both the packed binary labels and the per-category
+SK-DB shards); ``query`` answers a KOSR query, reusing a preprocessed
+index when ``--index`` is given; ``figure`` regenerates one of the paper's
+tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.engine import KOSREngine, METHODS, NN_BACKENDS
+from repro.experiments import figures as figure_defs
+from repro.experiments.reporting import format_table
+from repro.graph import generators
+from repro.graph.io import load_json, save_json
+from repro.labeling.packed import PackedLabelIndex
+
+FIGURES = {
+    "table9": lambda a: figure_defs.table9_preprocessing(),
+    "fig3a": lambda a: figure_defs.fig3_overall(),
+    "fig3d": lambda a: figure_defs.fig3_effect_k("FLA"),
+    "fig3e": lambda a: figure_defs.fig3_effect_k("CAL"),
+    "fig3f": lambda a: figure_defs.fig3_effect_c("FLA"),
+    "fig3g": lambda a: figure_defs.fig3_effect_c("CAL"),
+    "fig3h": lambda a: figure_defs.fig3_effect_ci(),
+    "fig4": lambda a: figure_defs.fig4_small_k(),
+    "fig5": lambda a: figure_defs.fig5_search_space(),
+    "fig6": lambda a: figure_defs.fig6_zipfian(),
+    "fig7": lambda a: figure_defs.fig7_osr(),
+    "table10": lambda a: figure_defs.table10_breakdown(),
+    "ablation": lambda a: figure_defs.ablation_design_choices(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Top-k optimal sequenced routes (ICDE 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a dataset analogue as JSON")
+    gen.add_argument("--dataset", required=True,
+                     choices=list(generators.DATASET_NAMES))
+    gen.add_argument("--scale", type=float, default=0.35)
+    gen.add_argument("--out", required=True)
+
+    info = sub.add_parser("info", help="summarise a graph file")
+    info.add_argument("--graph", required=True)
+
+    pre = sub.add_parser("preprocess", help="build and save the label indexes")
+    pre.add_argument("--graph", required=True)
+    pre.add_argument("--out", required=True, help="index directory")
+
+    qry = sub.add_parser("query", help="answer a KOSR query")
+    qry.add_argument("--graph", required=True)
+    qry.add_argument("--index", help="directory written by `preprocess`")
+    qry.add_argument("--source", type=int, required=True)
+    qry.add_argument("--target", type=int, required=True)
+    qry.add_argument("--categories", required=True,
+                     help="comma-separated names or ids, in visit order")
+    qry.add_argument("--k", type=int, default=1)
+    qry.add_argument("--method", default="SK", choices=list(METHODS))
+    qry.add_argument("--nn-backend", default="label", choices=list(NN_BACKENDS))
+    qry.add_argument("--budget", type=int, default=None,
+                     help="examined-route cap (reports INF when hit)")
+    qry.add_argument("--routes", action="store_true",
+                     help="restore actual routes, not just witnesses")
+
+    fig = sub.add_parser("figure", help="regenerate a paper table/figure")
+    fig.add_argument("--name", required=True, choices=sorted(FIGURES))
+    fig.add_argument("--scale", type=float, default=None)
+    fig.add_argument("--queries", type=int, default=None)
+    fig.add_argument("--chart", action="store_true",
+                     help="render an ASCII chart in the paper's style")
+    return parser
+
+
+def _load_graph(path: str):
+    graph = load_json(path)
+    if graph.num_vertices == 0:
+        raise SystemExit(f"{path}: empty graph")
+    return graph
+
+
+def cmd_generate(args) -> int:
+    graph = generators.dataset_by_name(args.dataset, scale=args.scale)
+    save_json(graph, args.out)
+    print(f"wrote {args.dataset} analogue (|V|={graph.num_vertices}, "
+          f"|E|={graph.num_edges}, {graph.num_categories} categories) "
+          f"to {args.out}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    graph = _load_graph(args.graph)
+    print(f"graph: {args.graph}")
+    print(f"  vertices:   {graph.num_vertices}")
+    print(f"  edges:      {graph.num_edges}")
+    print(f"  categories: {graph.num_categories}")
+    sizes = sorted(
+        (graph.category_size(c), graph.category_name(c))
+        for c in range(graph.num_categories)
+    )
+    if sizes:
+        small, large = sizes[0], sizes[-1]
+        print(f"  smallest category: {small[1]} ({small[0]} members)")
+        print(f"  largest category:  {large[1]} ({large[0]} members)")
+    return 0
+
+
+def cmd_preprocess(args) -> int:
+    graph = _load_graph(args.graph)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    engine = KOSREngine.build(graph, name=Path(args.graph).stem)
+    p = engine.preprocessing
+    print(f"labels built in {p.label_build_seconds:.2f}s: "
+          f"avg |Lin| = {p.avg_lin:.1f}, avg |Lout| = {p.avg_lout:.1f}, "
+          f"{p.label_entries} entries")
+    packed = PackedLabelIndex.from_index(engine.labels)
+    written = packed.save(out / "labels.bin")
+    print(f"packed labels: {written / 1e6:.2f} MB -> {out / 'labels.bin'}")
+    store = engine.attach_disk_store(out / "shards")
+    print(f"category shards: {store.total_bytes() / 1e6:.2f} MB -> "
+          f"{out / 'shards'}")
+    return 0
+
+
+def _make_engine(args):
+    graph = _load_graph(args.graph)
+    if args.index:
+        labels_path = Path(args.index) / "labels.bin"
+        packed = PackedLabelIndex.load(labels_path)
+        engine = KOSREngine.from_labels(graph, packed.to_index(),
+                                        name=Path(args.graph).stem)
+        shards = Path(args.index) / "shards"
+        if shards.exists():
+            from repro.labeling.storage import CategoryShardStore
+
+            engine._store = CategoryShardStore(shards)
+        return engine
+    if args.method == "SK-DB":
+        raise SystemExit("SK-DB needs --index (run `preprocess` first)")
+    if args.nn_backend == "label" and args.method not in ("GSP", "GSP-CH"):
+        return KOSREngine.build(graph)
+    return KOSREngine(graph)
+
+
+def cmd_query(args) -> int:
+    engine = _make_engine(args)
+    categories: List = []
+    for token in args.categories.split(","):
+        token = token.strip()
+        categories.append(int(token) if token.isdigit() else token)
+    t0 = time.perf_counter()
+    result = engine.query(
+        args.source, args.target, categories, k=args.k,
+        method=args.method, nn_backend=args.nn_backend,
+        budget=args.budget, restore_routes=args.routes,
+    )
+    elapsed = time.perf_counter() - t0
+    stats = result.stats
+    if not stats.completed:
+        print("INF (budget exhausted before the top-k set completed)")
+    for rank, item in enumerate(result.results, 1):
+        print(f"#{rank}  cost {item.cost:g}  witness "
+              f"{' -> '.join(map(str, item.witness.vertices))}")
+        if args.routes and item.route is not None:
+            print(f"     route {' -> '.join(map(str, item.route.vertices))}")
+    if not result.results:
+        print("no feasible route")
+    print(f"[{args.method}/{args.nn_backend}] {stats.examined_routes} examined, "
+          f"{stats.nn_queries} NN queries, {elapsed * 1000:.2f} ms")
+    return 0 if stats.completed else 2
+
+
+def cmd_figure(args) -> int:
+    from repro.experiments import datasets as ds
+
+    if args.scale is not None:
+        ds.BENCH_SCALE = args.scale
+        ds.clear_caches()
+    if args.queries is not None:
+        ds.BENCH_QUERIES = args.queries
+    rows, cols = FIGURES[args.name](args)
+    print(format_table(rows, cols, title=args.name))
+    if args.chart:
+        from repro.experiments.charts import bar_chart, level_series
+
+        print()
+        if args.name == "fig5":
+            print(level_series(rows, title=f"{args.name} (sparklines)"))
+        else:
+            value_key = "time_ms" if "time_ms" in cols else cols[-1]
+            label_keys = [c for c in cols
+                          if c not in (value_key, "unfinished",
+                                       "examined_routes", "nn_queries")]
+            print(bar_chart(rows, label_keys, value_key,
+                            title=f"{args.name} ({value_key}, log scale)"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": cmd_generate,
+        "info": cmd_info,
+        "preprocess": cmd_preprocess,
+        "query": cmd_query,
+        "figure": cmd_figure,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

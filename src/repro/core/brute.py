@@ -1,0 +1,72 @@
+"""Exhaustive KOSR by witness enumeration — the testing oracle.
+
+Enumerates every witness ``⟨s, v1, ..., vj, t⟩`` with ``vi ∈ VCi``, scores
+it with exact Dijkstra leg distances, and returns the k cheapest.  Cost
+grows as ``Π |Ci|``, so this is only for validation on small inputs — which
+is precisely its job: every fast algorithm must agree with it.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Tuple
+
+from repro.core.query import KOSRQuery
+from repro.exceptions import QueryError
+from repro.graph.graph import Graph
+from repro.paths.dijkstra import dijkstra_to_targets
+from repro.types import Cost, INFINITY, SequencedResult, Vertex, Witness
+
+
+def _layer_distances(
+    graph: Graph, layers: List[List[Vertex]]
+) -> List[Dict[Tuple[Vertex, Vertex], Cost]]:
+    """Exact distances between consecutive layers (one Dijkstra per origin)."""
+    legs: List[Dict[Tuple[Vertex, Vertex], Cost]] = []
+    for src_layer, dst_layer in zip(layers, layers[1:]):
+        table: Dict[Tuple[Vertex, Vertex], Cost] = {}
+        targets = set(dst_layer)
+        for u in set(src_layer):
+            found = dijkstra_to_targets(graph, u, targets)
+            for v in targets:
+                table[(u, v)] = found.get(v, INFINITY)
+        legs.append(table)
+    return legs
+
+
+def brute_force_kosr(
+    graph: Graph,
+    query: KOSRQuery,
+    max_witnesses: int = 2_000_000,
+) -> List[SequencedResult]:
+    """All-pairs enumerated top-k; exact but exponential in ``|C|``."""
+    layers: List[List[Vertex]] = [[query.source]]
+    total = 1
+    for cid in query.categories:
+        members = sorted(graph.members(cid))
+        total *= max(1, len(members))
+        layers.append(members)
+    layers.append([query.target])
+    if total > max_witnesses:
+        raise QueryError(
+            f"brute force would enumerate {total} witnesses (cap {max_witnesses})"
+        )
+    legs = _layer_distances(graph, layers)
+
+    scored: List[Tuple[Cost, Tuple[Vertex, ...]]] = []
+    for combo in product(*layers[1:-1]):
+        vertices = (query.source,) + combo + (query.target,)
+        cost = 0.0
+        for i, table in enumerate(legs):
+            leg = table[(vertices[i], vertices[i + 1])]
+            if leg == INFINITY:
+                cost = INFINITY
+                break
+            cost += leg
+        if cost != INFINITY:
+            scored.append((cost, vertices))
+    scored.sort(key=lambda item: (item[0], item[1]))
+    return [
+        SequencedResult(Witness(vertices, cost))
+        for cost, vertices in scored[: query.k]
+    ]

@@ -1,0 +1,280 @@
+""":class:`KOSREngine` — the user-facing facade.
+
+Typical use::
+
+    from repro import KOSREngine
+    from repro.graph import generators
+
+    graph = generators.cal()
+    engine = KOSREngine.build(graph)              # hub labels + inverted indexes
+    result = engine.query(source=0, target=42,
+                          categories=["cal0", "cal3", "cal7"], k=5)
+    for item in result.results:
+        print(item.witness.vertices, item.cost)
+
+The engine owns the offline artefacts (label index, inverted indexes,
+optional disk store) and dispatches online queries to any of the paper's
+methods over any NN backend.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.gsp import gsp_osr, gsp_osr_ch
+from repro.core.kpne import kpne
+from repro.core.pruning import pruning_kosr
+from repro.core.query import KOSRQuery, make_query
+from repro.core.star import star_kosr
+from repro.core.stats import PreprocessingStats, QueryStats
+from repro.exceptions import QueryError
+from repro.graph.graph import Graph
+from repro.labeling.inverted import InvertedLabelIndex, build_inverted_indexes
+from repro.labeling.labels import LabelIndex
+from repro.labeling.pll_unweighted import build_labels_auto
+from repro.labeling.storage import CategoryShardStore, DiskLabelRepository
+from repro.nn.base import NearestNeighborFinder
+from repro.nn.dijkstra_nn import DijkstraNNFinder
+from repro.nn.label_nn import LabelNNFinder
+from repro.types import CategoryId, Route, SequencedResult, Vertex
+
+#: Method identifiers accepted by :meth:`KOSREngine.query`, matching the
+#: paper's legend: KPNE (baseline), PK (PruningKOSR), SK (StarKOSR),
+#: SK-NODOM (heuristic-only ablation), SK-DB (disk-resident labels),
+#: GSP (k = 1 only).
+METHODS = ("KPNE", "PK", "SK", "SK-NODOM", "SK-DB", "GSP", "GSP-CH")
+
+#: NN oracle backends: "label" = FindNN over the inverted label index;
+#: "dij-restart" = the paper's from-scratch Dijkstra (the ``*-Dij`` curves);
+#: "dij-resume" = resumable Dijkstra cursors (ablation).
+NN_BACKENDS = ("label", "dij-restart", "dij-resume")
+
+
+@dataclass
+class KOSRResult:
+    """Answer set plus execution statistics for one query."""
+
+    query: KOSRQuery
+    results: List[SequencedResult]
+    stats: QueryStats
+
+    @property
+    def costs(self) -> List[float]:
+        return [r.cost for r in self.results]
+
+    @property
+    def witnesses(self) -> List[tuple]:
+        return [r.witness.vertices for r in self.results]
+
+
+class KOSREngine:
+    """Offline indexes + online KOSR/OSR query dispatch."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        labels: Optional[LabelIndex] = None,
+        inverted: Optional[Dict[CategoryId, InvertedLabelIndex]] = None,
+        preprocessing: Optional[PreprocessingStats] = None,
+    ):
+        self.graph = graph
+        self.labels = labels
+        self.inverted = inverted
+        self.preprocessing = preprocessing
+        self._store: Optional[CategoryShardStore] = None
+        self._ch = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        order: Optional[Sequence[Vertex]] = None,
+        name: str = "",
+    ) -> "KOSREngine":
+        """Build hub labels and inverted indexes, recording Table IX stats."""
+        stats = PreprocessingStats(
+            graph_name=name,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+        )
+        t0 = time.perf_counter()
+        labels = build_labels_auto(graph, order)
+        stats.label_build_seconds = time.perf_counter() - t0
+        stats.avg_lin, stats.avg_lout = labels.average_label_sizes()
+        stats.label_entries = labels.size_entries()
+
+        t0 = time.perf_counter()
+        inverted = build_inverted_indexes(graph, labels)
+        stats.inverted_build_seconds = time.perf_counter() - t0
+        totals = [il.total_entries for il in inverted.values()]
+        stats.inverted_entries = sum(totals)
+        stats.avg_il_per_category = (sum(totals) / len(totals)) if totals else 0.0
+        lengths = [il.average_list_length() for il in inverted.values() if il.num_hubs]
+        stats.avg_il_list_length = (sum(lengths) / len(lengths)) if lengths else 0.0
+        return cls(graph, labels, inverted, stats)
+
+    @classmethod
+    def from_labels(
+        cls,
+        graph: Graph,
+        labels: LabelIndex,
+        name: str = "",
+    ) -> "KOSREngine":
+        """Assemble an engine from prebuilt labels (rebuilds only the
+        inverted indexes).
+
+        Hub labels depend solely on graph topology, so experiment sweeps
+        that vary *category assignments* (|Ci|, zipf skew) reuse one label
+        index across settings — this is the paper's setup, where labels are
+        precomputed offline once per graph.
+        """
+        stats = PreprocessingStats(
+            graph_name=name,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+        )
+        stats.avg_lin, stats.avg_lout = labels.average_label_sizes()
+        stats.label_entries = labels.size_entries()
+        t0 = time.perf_counter()
+        inverted = build_inverted_indexes(graph, labels)
+        stats.inverted_build_seconds = time.perf_counter() - t0
+        totals = [il.total_entries for il in inverted.values()]
+        stats.inverted_entries = sum(totals)
+        stats.avg_il_per_category = (sum(totals) / len(totals)) if totals else 0.0
+        lengths = [il.average_list_length() for il in inverted.values() if il.num_hubs]
+        stats.avg_il_list_length = (sum(lengths) / len(lengths)) if lengths else 0.0
+        return cls(graph, labels, inverted, stats)
+
+    def attach_disk_store(self, path) -> CategoryShardStore:
+        """Serialise the indexes to ``path`` and enable the SK-DB method."""
+        if self.labels is None or self.inverted is None:
+            raise QueryError("build the in-memory indexes before writing shards")
+        store = CategoryShardStore(path)
+        store.write_all(self.graph, self.labels, self.inverted)
+        self._store = store
+        return store
+
+    # ------------------------------------------------------------------
+    # Query dispatch
+    # ------------------------------------------------------------------
+    def make_query(
+        self,
+        source: Vertex,
+        target: Vertex,
+        categories: Sequence[Union[str, CategoryId]],
+        k: int = 1,
+    ) -> KOSRQuery:
+        return make_query(self.graph, source, target, categories, k)
+
+    def query(
+        self,
+        source: Vertex,
+        target: Vertex,
+        categories: Sequence[Union[str, CategoryId]],
+        k: int = 1,
+        method: str = "SK",
+        nn_backend: str = "label",
+        budget: Optional[int] = None,
+        time_budget_s: Optional[float] = None,
+        restore_routes: bool = False,
+    ) -> KOSRResult:
+        """Answer a KOSR query.
+
+        ``budget`` caps examined routes and ``time_budget_s`` caps wall time
+        (``stats.completed`` turns False when either is hit — the paper's
+        INF).  ``restore_routes`` additionally materialises each witness
+        into an actual vertex-by-vertex route via label parent pointers.
+        """
+        q = self.make_query(source, target, categories, k)
+        return self.run(q, method=method, nn_backend=nn_backend, budget=budget,
+                        time_budget_s=time_budget_s, restore_routes=restore_routes)
+
+    def run(
+        self,
+        q: KOSRQuery,
+        method: str = "SK",
+        nn_backend: str = "label",
+        budget: Optional[int] = None,
+        time_budget_s: Optional[float] = None,
+        restore_routes: bool = False,
+        strict_budget: bool = False,
+    ) -> KOSRResult:
+        """Answer a prevalidated :class:`KOSRQuery`.
+
+        With ``strict_budget`` a guard hit raises
+        :class:`~repro.exceptions.BudgetExceededError` instead of returning
+        a partial result with ``stats.completed = False``.
+        """
+        if method not in METHODS:
+            raise QueryError(f"unknown method {method!r}; choose from {METHODS}")
+        stats = QueryStats(method=method)
+        t_start = time.perf_counter()
+        deadline = None if time_budget_s is None else t_start + time_budget_s
+        if method == "GSP":
+            results = gsp_osr(self.graph, q, stats)
+        elif method == "GSP-CH":
+            results = gsp_osr_ch(self.graph, q, self.contraction_hierarchy(), stats)
+        elif method == "SK-DB":
+            results = self._run_disk(q, stats, budget, deadline)
+        else:
+            finder = self._make_finder(nn_backend)
+            if method == "KPNE":
+                results = kpne(q, finder, stats, budget, deadline)
+            elif method == "PK":
+                results = pruning_kosr(q, finder, stats, budget, deadline)
+            elif method == "SK":
+                results = star_kosr(q, finder, stats, budget, deadline)
+            else:  # SK-NODOM
+                results = star_kosr(q, finder, stats, budget, deadline,
+                                    use_dominance=False)
+        stats.total_time = time.perf_counter() - t_start
+        if strict_budget and not stats.completed:
+            from repro.exceptions import BudgetExceededError
+
+            raise BudgetExceededError(budget if budget is not None else -1)
+        if restore_routes:
+            self._restore(results)
+        return KOSRResult(q, results, stats)
+
+    def contraction_hierarchy(self):
+        """The engine's CH (built lazily, cached; used by GSP-CH)."""
+        if self._ch is None:
+            from repro.ch import build_ch
+
+            self._ch = build_ch(self.graph)
+        return self._ch
+
+    # ------------------------------------------------------------------
+    def _make_finder(self, nn_backend: str) -> NearestNeighborFinder:
+        if nn_backend == "label":
+            if self.labels is None or self.inverted is None:
+                raise QueryError("label backend requires built indexes; call build()")
+            return LabelNNFinder.from_index(self.labels, self.inverted)
+        if nn_backend == "dij-restart":
+            return DijkstraNNFinder(self.graph, mode="restart")
+        if nn_backend == "dij-resume":
+            return DijkstraNNFinder(self.graph, mode="resume")
+        raise QueryError(f"unknown NN backend {nn_backend!r}; choose from {NN_BACKENDS}")
+
+    def _run_disk(self, q: KOSRQuery, stats: QueryStats, budget: Optional[int],
+                  deadline: Optional[float] = None):
+        if self._store is None:
+            raise QueryError("SK-DB requires attach_disk_store() first")
+        repo = DiskLabelRepository(self._store)
+        t0 = time.perf_counter()
+        view = repo.load_for_query(q.categories, q.source, q.target)
+        stats.index_load_time = time.perf_counter() - t0
+        finder = LabelNNFinder(view.lout, view.hub_vertex, view.hub_list, view.distance)
+        return star_kosr(q, finder, stats, budget, deadline)
+
+    def _restore(self, results: List[SequencedResult]) -> None:
+        if self.labels is None:
+            raise QueryError("route restoration requires the in-memory label index")
+        for item in results:
+            cost, vertices = self.labels.restore_witness_route(item.witness.vertices)
+            item.route = Route(tuple(vertices), cost, item.witness)

@@ -1,0 +1,159 @@
+"""GSP (Rice & Tsotras, ICDE 2013): the state-of-the-art OSR comparator.
+
+GSP solves the *optimal* (k = 1) sequenced route with dynamic programming
+over categories::
+
+    X[i, v] = min over u in C_{i-1} of ( X[i-1, u] + dis(u, v) )    v in C_i
+
+computed here with one multi-source Dijkstra per category transition (the
+original engineers this over contraction hierarchies — see
+:mod:`repro.ch` — which changes constants, not results).  The transition
+only propagates *minimal* costs, which is exactly why GSP cannot be
+extended to k > 1 (Sec. III-B): information about second-best partials is
+discarded at every layer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.query import KOSRQuery
+from repro.core.stats import QueryStats
+from repro.graph.graph import Graph
+from repro.types import Cost, INFINITY, SequencedResult, Vertex, Witness
+
+
+def _multi_source_with_origins(
+    graph: Graph, sources: Dict[Vertex, Cost]
+) -> Tuple[Dict[Vertex, Cost], Dict[Vertex, Vertex]]:
+    """Multi-source Dijkstra that remembers which seed settled each vertex."""
+    dist: Dict[Vertex, Cost] = {}
+    origin: Dict[Vertex, Vertex] = {}
+    heap: List[Tuple[Cost, Vertex, Vertex]] = []
+    for s, offset in sources.items():
+        if offset < dist.get(s, INFINITY):
+            dist[s] = offset
+            origin[s] = s
+            heapq.heappush(heap, (offset, s, s))
+    settled: Dict[Vertex, Cost] = {}
+    settled_origin: Dict[Vertex, Vertex] = {}
+    while heap:
+        d, u, src = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled[u] = d
+        settled_origin[u] = src
+        for v, w in graph.neighbors_out(u):
+            nd = d + w
+            if nd < dist.get(v, INFINITY):
+                dist[v] = nd
+                origin[v] = src
+                heapq.heappush(heap, (nd, v, src))
+    return settled, settled_origin
+
+
+def gsp_osr_ch(
+    graph: Graph,
+    query: KOSRQuery,
+    ch,
+    stats: Optional[QueryStats] = None,
+) -> List[SequencedResult]:
+    """GSP with contraction-hierarchy transitions — the original paper's
+    engineering [29].
+
+    Each category transition is one CH bucket sweep
+    (:func:`repro.ch.many_to_many.offset_min_to_targets`) instead of a
+    full multi-source Dijkstra; the DP and the returned route are
+    identical to :func:`gsp_osr` (tests assert this).
+    """
+    from repro.ch.many_to_many import offset_min_to_targets
+
+    if query.k != 1:
+        raise ValueError("GSP only answers k = 1 (OSR) queries; see Sec. III-B")
+    stats = stats if stats is not None else QueryStats(method="GSP-CH")
+    t_start = time.perf_counter()
+
+    frontier: Dict[Vertex, Cost] = {query.source: 0.0}
+    backtracks: List[Dict[Vertex, Vertex]] = []
+    feasible = True
+    for cid in query.categories:
+        members = graph.members(cid)
+        best = offset_min_to_targets(ch, frontier, members)
+        stats.nn_queries += 1
+        if not best:
+            feasible = False
+            break
+        stats.examined_routes += len(best)
+        backtracks.append({v: origin for v, (_, origin) in best.items()})
+        frontier = {v: cost for v, (cost, _) in best.items()}
+    if feasible:
+        final = offset_min_to_targets(ch, frontier, [query.target])
+        stats.nn_queries += 1
+        if query.target in final:
+            total, origin = final[query.target]
+            vertices = [query.target]
+            cur = origin
+            for level_back in range(len(backtracks) - 1, -1, -1):
+                vertices.append(cur)
+                cur = backtracks[level_back][cur]
+            vertices.append(query.source)
+            vertices.reverse()
+            stats.results_found = 1
+            stats.total_time = time.perf_counter() - t_start
+            return [SequencedResult(Witness(tuple(vertices), total))]
+    stats.results_found = 0
+    stats.total_time = time.perf_counter() - t_start
+    return []
+
+
+def gsp_osr(
+    graph: Graph,
+    query: KOSRQuery,
+    stats: Optional[QueryStats] = None,
+) -> List[SequencedResult]:
+    """Run GSP for an OSR query (requires ``query.k == 1``).
+
+    Returns a one-element list with the optimal sequenced route's witness,
+    or an empty list when no feasible route exists.
+    """
+    if query.k != 1:
+        raise ValueError("GSP only answers k = 1 (OSR) queries; see Sec. III-B")
+    stats = stats if stats is not None else QueryStats(method="GSP")
+    t_start = time.perf_counter()
+
+    frontier: Dict[Vertex, Cost] = {query.source: 0.0}
+    #: per level: vertex -> the C_{i-1} vertex that minimised X[i, vertex]
+    backtracks: List[Dict[Vertex, Vertex]] = []
+    feasible = True
+    for cid in query.categories:
+        members = graph.members(cid)
+        settled, origins = _multi_source_with_origins(graph, frontier)
+        stats.nn_queries += 1  # one graph search per transition
+        next_frontier = {v: settled[v] for v in members if v in settled}
+        stats.examined_routes += len(next_frontier)
+        if not next_frontier:
+            feasible = False
+            break
+        backtracks.append({v: origins[v] for v in next_frontier})
+        frontier = next_frontier
+    if feasible:
+        settled, origins = _multi_source_with_origins(graph, frontier)
+        stats.nn_queries += 1
+        if query.target in settled:
+            total = settled[query.target]
+            # Reconstruct the witness layer by layer.
+            vertices = [query.target]
+            cur = origins[query.target]
+            for level_back in range(len(backtracks) - 1, -1, -1):
+                vertices.append(cur)
+                cur = backtracks[level_back][cur]
+            vertices.append(query.source)
+            vertices.reverse()
+            stats.results_found = 1
+            stats.total_time = time.perf_counter() - t_start
+            return [SequencedResult(Witness(tuple(vertices), total))]
+    stats.results_found = 0
+    stats.total_time = time.perf_counter() - t_start
+    return []

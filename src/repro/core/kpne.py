@@ -1,0 +1,35 @@
+"""KPNE: the PNE-based baseline for KOSR (Sec. III-B).
+
+Progressive neighbor exploration (Sharifzadeh et al. [32]) extended to
+top-k: keep extracting the cheapest partial witness, extend it through the
+nearest neighbor of its last vertex in the next category, and generate the
+sibling candidate via the next-nearest neighbor in the current category.
+Without dominance filtering, every partial witness cheaper than the k-th
+result is examined — exponential in ``|C|`` in the worst case.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.query import KOSRQuery
+from repro.core.runtime import QueryRuntime
+from repro.core.search import sequenced_route_search
+from repro.core.stats import QueryStats
+from repro.nn.base import NearestNeighborFinder
+from repro.types import SequencedResult
+
+
+def kpne(
+    query: KOSRQuery,
+    finder: NearestNeighborFinder,
+    stats: Optional[QueryStats] = None,
+    budget: Optional[int] = None,
+    deadline: Optional[float] = None,
+) -> List[SequencedResult]:
+    """Run KPNE; returns up to ``query.k`` results ordered by cost."""
+    stats = stats if stats is not None else QueryStats(method="KPNE")
+    runtime = QueryRuntime(query, finder, stats, estimated=False)
+    return sequenced_route_search(
+        runtime, use_dominance=False, estimated=False, budget=budget, deadline=deadline
+    )

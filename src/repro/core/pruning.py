@@ -1,0 +1,37 @@
+"""PruningKOSR (Algorithm 2): dominance-filtered KOSR search.
+
+A partial witness is *dominated* when another witness of the same size has
+already reached its last vertex at no greater cost (Definition 6).
+Dominated witnesses are parked in per-vertex heaps instead of being
+extended; once their dominating route completes into a result they are
+reconsidered (Lemma 1 guarantees nothing cheaper was missed).  This cuts
+the examined-route space from KPNE's exponential
+``Σ Π |Cj|`` to the polynomial ``Σ |Ci|·|Ci+1| + (k-1)·Σ |Ci|`` (Lemma 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.query import KOSRQuery
+from repro.core.runtime import QueryRuntime
+from repro.core.search import sequenced_route_search
+from repro.core.stats import QueryStats
+from repro.nn.base import NearestNeighborFinder
+from repro.types import Cost, SequencedResult, Vertex
+
+
+def pruning_kosr(
+    query: KOSRQuery,
+    finder: NearestNeighborFinder,
+    stats: Optional[QueryStats] = None,
+    budget: Optional[int] = None,
+    deadline: Optional[float] = None,
+    sources: Optional[List[Tuple[Vertex, Cost]]] = None,
+) -> List[SequencedResult]:
+    """Run PruningKOSR; returns up to ``query.k`` results ordered by cost."""
+    stats = stats if stats is not None else QueryStats(method="PK")
+    runtime = QueryRuntime(query, finder, stats, estimated=False)
+    return sequenced_route_search(
+        runtime, use_dominance=True, estimated=False, budget=budget, sources=sources, deadline=deadline
+    )

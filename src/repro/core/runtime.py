@@ -1,0 +1,112 @@
+"""Per-query runtime context shared by the KOSR algorithms.
+
+Bridges a query, a nearest-neighbor oracle, and a :class:`QueryStats`:
+
+* maps witness *levels* onto category ids, treating level ``|C| + 1`` as
+  the dummy destination category ``{t}``;
+* routes every oracle call through timers so Table X's breakdown and the
+  NN-query counts fall out of normal execution;
+* caches ``dis(v, t)`` — the admissible StarKOSR estimate — per vertex.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.core.query import KOSRQuery
+from repro.core.stats import QueryStats
+from repro.nn.base import NearestNeighborFinder
+from repro.nn.estimated import EstimatedNNFinder
+from repro.types import Cost, INFINITY, Vertex
+
+
+class QueryRuntime:
+    """Level-aware NN access with statistics accounting."""
+
+    def __init__(
+        self,
+        query: KOSRQuery,
+        finder: NearestNeighborFinder,
+        stats: QueryStats,
+        estimated: bool = False,
+    ):
+        self.query = query
+        self.stats = stats
+        self._finder = finder
+        self._dest_cache: Dict[Vertex, Cost] = {}
+        self._dest_computed = 0
+        self._estimated = estimated
+        self._est_finder: Optional[EstimatedNNFinder] = None
+        if estimated:
+            self._est_finder = EstimatedNNFinder(finder, self.heuristic)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        return self.query.num_levels
+
+    def finalize_counters(self) -> None:
+        """Fold oracle-level counters into the stats object."""
+        self.stats.nn_queries = self._finder.queries + self._dest_computed
+
+    # ------------------------------------------------------------------
+    def _dest_distance(self, v: Vertex) -> Cost:
+        d = self._dest_cache.get(v)
+        if d is None:
+            d = self._finder.distance(v, self.query.target)
+            self._dest_cache[v] = d
+            self._dest_computed += 1
+        return d
+
+    def heuristic(self, v: Vertex) -> Cost:
+        """Admissible completion estimate ``dis(v, t)`` (Sec. IV-B)."""
+        t0 = time.perf_counter()
+        try:
+            return self._dest_distance(v)
+        finally:
+            self.stats.estimation_time += time.perf_counter() - t0
+
+    # ------------------------------------------------------------------
+    def nearest(self, v: Vertex, level: int, x: int) -> Optional[Tuple[Vertex, Cost]]:
+        """The ``x``-th nearest neighbor of ``v`` at ``level`` (1-based levels).
+
+        Level ``num_levels`` is the destination: only ``x = 1`` exists and
+        the answer is ``(t, dis(v, t))``.
+        """
+        t0 = time.perf_counter()
+        try:
+            if level == self.num_levels:
+                if x > 1:
+                    return None
+                d = self._dest_distance(v)
+                return (self.query.target, d) if d != INFINITY else None
+            cid = self.query.categories[level - 1]
+            return self._finder.find(v, cid, x)
+        finally:
+            self.stats.nn_time += time.perf_counter() - t0
+
+    def nearest_estimated(
+        self, v: Vertex, level: int, x: int
+    ) -> Optional[Tuple[Vertex, Cost, Cost]]:
+        """The ``x``-th nearest *estimated* neighbor (StarKOSR, Algorithm 4).
+
+        Returns ``(u, leg, leg + dis(u, t))`` or ``None``.
+        """
+        if not self._estimated or self._est_finder is None:
+            raise RuntimeError("runtime was not built with estimation enabled")
+        if level == self.num_levels:
+            if x > 1:
+                return None
+            d = self.heuristic(v)
+            return (self.query.target, d, d) if d != INFINITY else None
+        t0 = time.perf_counter()
+        est_before = self.stats.estimation_time
+        try:
+            cid = self.query.categories[level - 1]
+            return self._est_finder.find(v, cid, x)
+        finally:
+            # FindNEN internally calls the heuristic; that share is already
+            # booked as estimation time, so keep only the remainder as NN time.
+            inner_est = self.stats.estimation_time - est_before
+            self.stats.nn_time += max(0.0, time.perf_counter() - t0 - inner_est)

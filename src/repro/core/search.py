@@ -1,0 +1,166 @@
+"""The unified best-first sequenced-route search loop.
+
+KPNE, PruningKOSR, and StarKOSR share one skeleton — a global priority
+queue of partial witnesses, extension through the (estimated) nearest
+neighbor of the last vertex, and sibling candidate generation through the
+``(x+1)``-th neighbor of the second-to-last vertex.  They differ in exactly
+two switches:
+
+============  =================  ==========================
+method        ``use_dominance``  ``estimated`` (A* ordering)
+============  =================  ==========================
+KPNE          no                 no
+PruningKOSR   yes                no
+StarKOSR      yes                yes
+(ablation)    no                 yes
+============  =================  ==========================
+
+Implementing the paper's Algorithm 2 once with these switches keeps the
+comparisons honest: all methods pay identical per-operation overheads, so
+the measured gaps come from the algorithms, not the engineering.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from typing import List, Optional, Tuple
+
+from repro.core.dominance import DominanceTables
+from repro.core.runtime import QueryRuntime
+from repro.types import Cost, SequencedResult, Vertex, Witness
+
+#: Queue entries: (key, tiebreak, vertices, cost, x, prefix_cost).
+#: ``x`` is the neighbor rank that produced the last vertex (``None`` for
+#: reconsidered dominated routes — the paper's '-' marker).
+_Entry = Tuple[Cost, int, Tuple[Vertex, ...], Cost, Optional[int], Cost]
+
+
+def sequenced_route_search(
+    runtime: QueryRuntime,
+    use_dominance: bool,
+    estimated: bool,
+    budget: Optional[int] = None,
+    sources: Optional[List[Tuple[Vertex, Cost]]] = None,
+    deadline: Optional[float] = None,
+    trace: Optional[List[Tuple[Tuple[Vertex, ...], Cost]]] = None,
+) -> List[SequencedResult]:
+    """Run the sequenced-route search; returns up to ``query.k`` results.
+
+    ``sources`` overrides the initial queue content (used by the no-source
+    variant); entries are ``(vertex, initial_cost)``.
+
+    When ``budget`` examined routes are exceeded, or ``deadline`` (an
+    absolute :func:`time.perf_counter` instant) passes, the search stops
+    with ``runtime.stats.completed = False`` (the paper's INF outcome —
+    queries that do not finish within 3,600 seconds).
+    """
+    stats = runtime.stats
+    query = runtime.query
+    num_levels = runtime.num_levels
+    k = query.k
+    tiebreak = itertools.count()
+
+    queue: List[_Entry] = []
+
+    def push(key: Cost, vertices: Tuple[Vertex, ...], cost: Cost,
+             x: Optional[int], prefix_cost: Cost) -> None:
+        t0 = time.perf_counter()
+        heapq.heappush(queue, (key, next(tiebreak), vertices, cost, x, prefix_cost))
+        stats.queue_time += time.perf_counter() - t0
+        stats.generated_routes += 1
+        if len(queue) > stats.max_queue_size:
+            stats.max_queue_size = len(queue)
+
+    if sources is None:
+        sources = [(query.source, 0.0)]
+    for vertex, initial_cost in sources:
+        if estimated:
+            h = runtime.heuristic(vertex)
+            if h == float("inf"):
+                continue  # destination unreachable from this start
+            push(initial_cost + h, (vertex,), initial_cost, 1, 0.0)
+        else:
+            push(initial_cost, (vertex,), initial_cost, 1, 0.0)
+
+    # Per-vertex dominance tables (Algorithm 2 lines 8-19).
+    tables = DominanceTables()
+
+    results: List[SequencedResult] = []
+
+    while queue and len(results) < k:
+        t0 = time.perf_counter()
+        key, _, vertices, cost, x, prefix_cost = heapq.heappop(queue)
+        stats.queue_time += time.perf_counter() - t0
+
+        level = len(vertices) - 1
+        stats.examined_routes += 1
+        stats.bump_level(level)
+        if trace is not None:
+            trace.append((vertices, cost))
+        if budget is not None and stats.examined_routes > budget:
+            stats.completed = False
+            break
+        if deadline is not None and time.perf_counter() > deadline:
+            stats.completed = False
+            break
+
+        if level == num_levels:
+            # Complete feasible witness (lines 6-12).
+            results.append(SequencedResult(Witness(vertices, cost)))
+            if use_dominance:
+                for entry in tables.release_for_result(vertices):
+                    r_key, _, r_vertices, r_cost, _, r_prefix = entry
+                    stats.reconsidered_routes += 1
+                    push(r_key, r_vertices, r_cost, None, r_prefix)
+            continue
+
+        last = vertices[-1]
+        size = level + 1
+        extend = True
+        if use_dominance:
+            if not tables.try_register(last, size, vertices):
+                # Dominated (lines 18-19): park it, keyed consistently with
+                # the global queue so the cheapest is reconsidered first.
+                extend = False
+                stats.dominated_routes += 1
+                t0 = time.perf_counter()
+                tables.park(
+                    last, size,
+                    (key, next(tiebreak), vertices, cost, None, prefix_cost),
+                )
+                stats.queue_time += time.perf_counter() - t0
+
+        if extend:
+            # Extend through the (estimated) nearest neighbor (lines 14-17).
+            if estimated:
+                nxt = runtime.nearest_estimated(last, level + 1, 1)
+                if nxt is not None:
+                    u, leg, est = nxt
+                    push(cost + est, vertices + (u,), cost + leg, 1, cost)
+            else:
+                nxt = runtime.nearest(last, level + 1, 1)
+                if nxt is not None:
+                    u, leg = nxt
+                    push(cost + leg, vertices + (u,), cost + leg, 1, cost)
+
+        if level > 0 and x is not None:
+            # Sibling candidate via the (x+1)-th neighbor (lines 20-22).
+            prev = vertices[-2]
+            if estimated:
+                sib = runtime.nearest_estimated(prev, level, x + 1)
+                if sib is not None:
+                    u, leg, est = sib
+                    push(prefix_cost + est, vertices[:-1] + (u,),
+                         prefix_cost + leg, x + 1, prefix_cost)
+            else:
+                sib = runtime.nearest(prev, level, x + 1)
+                if sib is not None:
+                    u, leg = sib
+                    push(prefix_cost + leg, vertices[:-1] + (u,),
+                         prefix_cost + leg, x + 1, prefix_cost)
+
+    stats.results_found = len(results)
+    runtime.finalize_counters()
+    return results

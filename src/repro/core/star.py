@@ -1,0 +1,41 @@
+"""StarKOSR (Sec. IV-B): destination-directed KOSR search.
+
+StarKOSR orders the priority queue by ``w(p) + dis(last(p), t)`` — the real
+cost plus an admissible completion estimate from the hub labels — and
+extends witnesses through *estimated* nearest neighbors (FindNEN,
+Algorithm 4), which rank category members by leg cost plus remaining
+distance.  Partial witnesses pointing away from the destination sink in the
+queue, shrinking the searched rings of Fig. 2(c); Lemma 4 proves the
+returned top-k set is exact.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.query import KOSRQuery
+from repro.core.runtime import QueryRuntime
+from repro.core.search import sequenced_route_search
+from repro.core.stats import QueryStats
+from repro.nn.base import NearestNeighborFinder
+from repro.types import SequencedResult
+
+
+def star_kosr(
+    query: KOSRQuery,
+    finder: NearestNeighborFinder,
+    stats: Optional[QueryStats] = None,
+    budget: Optional[int] = None,
+    deadline: Optional[float] = None,
+    use_dominance: bool = True,
+) -> List[SequencedResult]:
+    """Run StarKOSR; returns up to ``query.k`` results ordered by cost.
+
+    ``use_dominance=False`` gives the heuristic-only ablation (A* ordering
+    without the dominance tables).
+    """
+    stats = stats if stats is not None else QueryStats(method="SK")
+    runtime = QueryRuntime(query, finder, stats, estimated=True)
+    return sequenced_route_search(
+        runtime, use_dominance=use_dominance, estimated=True, budget=budget, deadline=deadline
+    )

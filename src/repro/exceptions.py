@@ -1,0 +1,61 @@
+"""Exception hierarchy for the KOSR reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph construction or lookups."""
+
+
+class UnknownVertexError(GraphError):
+    """A vertex id outside ``range(n)`` was referenced."""
+
+    def __init__(self, vertex: int, n: int):
+        super().__init__(f"vertex {vertex} not in graph with {n} vertices")
+        self.vertex = vertex
+        self.n = n
+
+
+class UnknownCategoryError(GraphError):
+    """A category name/id that the graph does not define."""
+
+
+class NegativeWeightError(GraphError):
+    """Edge weights must be non-negative (Definition 1)."""
+
+    def __init__(self, u: int, v: int, weight: float):
+        super().__init__(f"edge ({u}, {v}) has negative weight {weight!r}")
+        self.edge = (u, v)
+        self.weight = weight
+
+
+class QueryError(ReproError):
+    """Raised for invalid KOSR queries (bad k, empty categories, ...)."""
+
+
+class EmptyCategoryError(QueryError):
+    """A queried category has no member vertices."""
+
+
+class IndexBuildError(ReproError):
+    """Raised when an index (hub labels, CH) cannot be constructed."""
+
+
+class IndexStorageError(ReproError):
+    """Raised when reading or writing a serialized index fails."""
+
+
+class BudgetExceededError(ReproError):
+    """An algorithm exceeded its examined-route budget.
+
+    The experiment harness maps this to the paper's "INF" entries (queries
+    that do not finish within 3,600 seconds).
+    """
+
+    def __init__(self, budget: int):
+        super().__init__(f"examined-route budget of {budget} exceeded")
+        self.budget = budget

@@ -1,0 +1,69 @@
+"""Persistence for workloads and experiment results.
+
+The paper reports averages over 50 random query instances; to make reruns
+and cross-machine comparisons exact, workloads can be frozen to JSON and
+experiment rows exported to CSV (one row per (setting, method), the same
+rows the figure generators produce).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.core.query import KOSRQuery
+from repro.experiments.workload import Workload
+
+PathLike = Union[str, Path]
+
+
+def save_workload(workload: Workload, path: PathLike) -> None:
+    """Freeze a workload's queries to JSON."""
+    data = [
+        {
+            "source": q.source,
+            "target": q.target,
+            "categories": list(q.categories),
+            "k": q.k,
+        }
+        for q in workload
+    ]
+    with open(path, "w") as f:
+        json.dump({"version": 1, "queries": data}, f)
+
+
+def load_workload(path: PathLike) -> Workload:
+    """Load a workload frozen by :func:`save_workload`."""
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("version") != 1:
+        raise ValueError(f"{path}: unsupported workload version")
+    queries = [
+        KOSRQuery(q["source"], q["target"], tuple(q["categories"]), q["k"])
+        for q in data["queries"]
+    ]
+    return Workload(queries)
+
+
+def write_rows_csv(rows: List[Dict], columns: Sequence[str], path: PathLike) -> None:
+    """Export figure rows to CSV; infinities become the string ``INF``."""
+    with open(path, "w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            clean = {}
+            for col in columns:
+                value = row.get(col, "")
+                if isinstance(value, float) and math.isinf(value):
+                    value = "INF"
+                clean[col] = value
+            writer.writerow(clean)
+
+
+def read_rows_csv(path: PathLike) -> List[Dict[str, str]]:
+    """Read back a CSV written by :func:`write_rows_csv` (values as strings)."""
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))

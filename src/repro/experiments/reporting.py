@@ -1,0 +1,38 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "INF"
+        if value >= 1000:
+            return f"{value:,.0f}"
+        if value >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: List[Dict[str, Cell]], columns: Sequence[str], title: str = "") -> str:
+    """Render rows as a fixed-width text table (the bench harness output)."""
+    rendered = [[format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) if rendered else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append(" | ".join(cell.rjust(widths[i]) for i, cell in enumerate(r)))
+    return "\n".join(lines)

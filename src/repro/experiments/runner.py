@@ -1,0 +1,128 @@
+"""Workload execution and aggregation.
+
+Runs one (method, NN backend) pair over a workload, applying the paper's
+INF convention: a query that exhausts its examined-route budget or wall
+deadline counts as unfinished, and a setting whose queries did not all
+finish reports INF for run-time (matching the bars that hit the INF line
+in Figs. 3, 4, 6, 7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.engine import KOSREngine
+from repro.core.stats import QueryStats
+from repro.experiments.workload import Workload
+
+#: INF marker used in reports (the paper's "did not finish in 3,600 s").
+INF = math.inf
+
+#: Default per-query guards for the scaled benchmarks.
+DEFAULT_EXAMINED_BUDGET = 100_000
+DEFAULT_TIME_BUDGET_S = 5.0
+
+#: The paper's seven-method legend: label -> (engine method, NN backend).
+METHOD_LEGEND: Dict[str, tuple] = {
+    "KPNE-Dij": ("KPNE", "dij-restart"),
+    "PK-Dij": ("PK", "dij-restart"),
+    "SK-Dij": ("SK", "dij-restart"),
+    "KPNE": ("KPNE", "label"),
+    "PK": ("PK", "label"),
+    "SK": ("SK", "label"),
+    "SK-DB": ("SK-DB", "label"),
+}
+
+
+@dataclass
+class MethodAggregate:
+    """Aggregated outcome of one method over one workload."""
+
+    label: str
+    num_queries: int = 0
+    unfinished: int = 0
+    total_time_s: float = 0.0
+    total_examined: int = 0
+    total_nn_queries: int = 0
+    total_results: int = 0
+    per_level_examined: List[int] = field(default_factory=list)
+    #: summed Table X components (seconds)
+    nn_time_s: float = 0.0
+    queue_time_s: float = 0.0
+    estimation_time_s: float = 0.0
+    index_load_time_s: float = 0.0
+
+    @property
+    def mean_time_ms(self) -> float:
+        """Average query run-time in ms; INF when any query was unfinished."""
+        if self.num_queries == 0:
+            return INF
+        if self.unfinished:
+            return INF
+        return 1000.0 * self.total_time_s / self.num_queries
+
+    @property
+    def mean_examined(self) -> float:
+        if self.num_queries == 0:
+            return INF
+        return self.total_examined / self.num_queries
+
+    @property
+    def mean_nn_queries(self) -> float:
+        if self.num_queries == 0:
+            return INF
+        return self.total_nn_queries / self.num_queries
+
+    def add(self, stats: QueryStats) -> None:
+        self.num_queries += 1
+        if not stats.completed:
+            self.unfinished += 1
+        self.total_time_s += stats.total_time
+        self.total_examined += stats.examined_routes
+        self.total_nn_queries += stats.nn_queries
+        self.total_results += stats.results_found
+        self.nn_time_s += stats.nn_time
+        self.queue_time_s += stats.queue_time
+        self.estimation_time_s += stats.estimation_time
+        self.index_load_time_s += stats.index_load_time
+        for level, count in enumerate(stats.per_level_examined):
+            while len(self.per_level_examined) <= level:
+                self.per_level_examined.append(0)
+            self.per_level_examined[level] += count
+
+
+def run_workload(
+    engine: KOSREngine,
+    workload: Workload,
+    label: str,
+    budget: Optional[int] = DEFAULT_EXAMINED_BUDGET,
+    time_budget_s: Optional[float] = DEFAULT_TIME_BUDGET_S,
+    stop_after_first_unfinished: bool = True,
+) -> MethodAggregate:
+    """Execute ``workload`` with the method named by the paper legend ``label``.
+
+    With ``stop_after_first_unfinished`` (default) a workload whose first
+    unfinished query already forces an INF report skips its remaining
+    queries — the aggregate is INF either way, and the skip keeps the
+    scaled bench suite's wall time bounded.
+    """
+    if label in ("GSP", "GSP-CH"):
+        method, backend = label, "label"
+    else:
+        method, backend = METHOD_LEGEND[label]
+    if method == "SK-DB":
+        from repro.experiments.datasets import disk_store_for
+
+        disk_store_for(engine)
+    agg = MethodAggregate(label=label)
+    for query in workload:
+        result = engine.run(
+            query, method=method, nn_backend=backend,
+            budget=budget, time_budget_s=time_budget_s,
+        )
+        agg.add(result.stats)
+        if agg.unfinished and stop_after_first_unfinished:
+            break
+    return agg

@@ -1,0 +1,62 @@
+"""Random KOSR query workloads (Sec. V-A).
+
+"For each KOSR query (s, t, C, k), we randomly select a source-destination
+pair, a category sequence with size |C|, and an integer k" — reproduced
+here with explicit seeds so every figure's workload is deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.query import KOSRQuery
+from repro.graph.graph import Graph
+
+
+@dataclass
+class Workload:
+    """A reproducible batch of queries over one graph."""
+
+    queries: List[KOSRQuery] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+def random_queries(
+    graph: Graph,
+    num_queries: int,
+    c_len: int,
+    k: int,
+    seed: int = 0,
+    min_category_size: int = 2,
+) -> Workload:
+    """Draw ``num_queries`` random queries with ``|C| = c_len``.
+
+    Categories are sampled (without replacement when possible) among those
+    with at least ``min_category_size`` members; source/destination are
+    uniform vertices.
+    """
+    rng = random.Random(seed)
+    eligible = [
+        cid for cid in range(graph.num_categories)
+        if graph.category_size(cid) >= min_category_size
+    ]
+    if not eligible:
+        raise ValueError("graph has no categories large enough for a workload")
+    queries: List[KOSRQuery] = []
+    n = graph.num_vertices
+    for _ in range(num_queries):
+        if len(eligible) >= c_len:
+            cats = rng.sample(eligible, c_len)
+        else:
+            cats = [rng.choice(eligible) for _ in range(c_len)]
+        source = rng.randrange(n)
+        target = rng.randrange(n)
+        queries.append(KOSRQuery(source, target, tuple(cats), k))
+    return Workload(queries)

@@ -1,0 +1,74 @@
+"""Graph substrate: directed weighted graphs with vertex categories.
+
+This package implements Definition 1 of the paper — a graph
+``G(V, E, F, W)`` where ``F`` maps vertices to sets of categories and ``W``
+assigns non-negative edge weights that need not satisfy the triangle
+inequality — plus builders, synthetic dataset generators, category
+assignment schemes, and file IO.
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.builders import (
+    from_edge_list,
+    grid_graph,
+    complete_graph,
+    path_graph,
+    random_graph,
+)
+from repro.graph.categories import (
+    assign_uniform_categories,
+    assign_zipfian_categories,
+    zipfian_sizes,
+)
+from repro.graph.generators import (
+    DatasetSpec,
+    road_network,
+    social_network,
+    cal,
+    nyc,
+    col,
+    fla,
+    gplus,
+    dataset_by_name,
+    DATASET_NAMES,
+)
+from repro.graph.io import (
+    read_dimacs,
+    write_dimacs,
+    read_edge_list,
+    write_edge_list,
+    graph_to_dict,
+    graph_from_dict,
+    save_json,
+    load_json,
+)
+
+__all__ = [
+    "Graph",
+    "from_edge_list",
+    "grid_graph",
+    "complete_graph",
+    "path_graph",
+    "random_graph",
+    "assign_uniform_categories",
+    "assign_zipfian_categories",
+    "zipfian_sizes",
+    "DatasetSpec",
+    "road_network",
+    "social_network",
+    "cal",
+    "nyc",
+    "col",
+    "fla",
+    "gplus",
+    "dataset_by_name",
+    "DATASET_NAMES",
+    "read_dimacs",
+    "write_dimacs",
+    "read_edge_list",
+    "write_edge_list",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_json",
+    "load_json",
+]

@@ -1,0 +1,94 @@
+"""Small deterministic graph builders used throughout tests and examples."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Tuple
+
+from repro.graph.graph import Graph
+from repro.types import Cost, Vertex
+
+
+def from_edge_list(
+    num_vertices: int,
+    edges: Iterable[Tuple[Vertex, Vertex, Cost]],
+    undirected: bool = False,
+) -> Graph:
+    """Build a graph from ``(u, v, weight)`` triples."""
+    g = Graph(num_vertices)
+    for u, v, w in edges:
+        g.add_edge(u, v, w, undirected=undirected)
+    return g
+
+
+def path_graph(n: int, weight: Cost = 1.0, undirected: bool = True) -> Graph:
+    """A path ``0 - 1 - ... - n-1`` with uniform edge weight."""
+    g = Graph(n)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, weight, undirected=undirected)
+    return g
+
+
+def complete_graph(n: int, weight: Cost = 1.0) -> Graph:
+    """A complete directed graph (both directions) with uniform weight."""
+    g = Graph(n)
+    for u in range(n):
+        for v in range(n):
+            if u != v:
+                g.add_edge(u, v, weight)
+    return g
+
+
+def grid_graph(
+    rows: int,
+    cols: int,
+    rng: Optional[random.Random] = None,
+    min_weight: Cost = 1.0,
+    max_weight: Cost = 10.0,
+    undirected: bool = True,
+) -> Graph:
+    """A ``rows x cols`` grid with random edge weights.
+
+    Grid graphs are the standard stand-in for road networks: planar,
+    sparse, with large diameter.  Vertex ``(r, c)`` has id ``r * cols + c``.
+    """
+    rng = rng or random.Random(0)
+    g = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1, rng.uniform(min_weight, max_weight), undirected=undirected)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols, rng.uniform(min_weight, max_weight), undirected=undirected)
+    return g
+
+
+def random_graph(
+    n: int,
+    avg_out_degree: float,
+    rng: Optional[random.Random] = None,
+    min_weight: Cost = 1.0,
+    max_weight: Cost = 10.0,
+    ensure_connected: bool = True,
+) -> Graph:
+    """An Erdős–Rényi-style random digraph with the given expected out-degree.
+
+    With ``ensure_connected`` a random Hamiltonian cycle is added first so
+    every vertex can reach every other (keeps random query workloads free of
+    unreachable pairs).
+    """
+    rng = rng or random.Random(0)
+    g = Graph(n)
+    if ensure_connected and n > 1:
+        order = list(range(n))
+        rng.shuffle(order)
+        for i in range(n):
+            g.add_edge(order[i], order[(i + 1) % n], rng.uniform(min_weight, max_weight))
+    target_edges = int(n * avg_out_degree)
+    while g.num_edges < target_edges:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            g.add_edge(u, v, rng.uniform(min_weight, max_weight))
+    return g

@@ -1,0 +1,293 @@
+"""Synthetic analogues of the paper's five real-world datasets (Table VII).
+
+The paper evaluates on CAL, NYC, COL, FLA (road networks, 68k-1.07M
+vertices) and G+ (Google+ social graph, 108k vertices / 13.7M edges).  A
+pure-Python reproduction cannot hold million-vertex hub-label indexes within
+benchmark budgets, so each dataset is replaced by a *scaled analogue* that
+preserves the structural drivers of the paper's results:
+
+* **CAL / NYC** — undirected planar road-like grids with distance weights.
+  CAL carries 63 categories over ~70% of vertices (the real CAL has 47,298
+  of 68,345 vertices categorised); NYC carries 135 sparse POI-style
+  categories (30,382 POIs on 980k vertices).
+* **COL / FLA** — larger *directed* road-like graphs with travel-time
+  weights and uniform synthetic categories of a fixed size ``|Ci|``
+  (the paper's default bolded setting is |Ci| = 10,000 ≈ 1% of FLA's
+  vertices; we keep the same *fraction* semantics via ``category_fraction``).
+* **G+** — a dense, small-diameter, unit-weight scale-free digraph.  The
+  paper highlights that unit weights + diameter ≈ 6 make partial routes and
+  NN distances nearly tie, blowing up the search space; that property is
+  scale-free and survives the size reduction.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.graph.builders import grid_graph
+from repro.graph.categories import assign_uniform_categories, assign_zipfian_categories
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Descriptor of a generated dataset analogue."""
+
+    name: str
+    #: Paper dataset this stands in for.
+    paper_name: str
+    directed: bool
+    unit_weights: bool
+    #: Number of categories created by default.
+    num_categories: int
+    #: Default per-category size as a fraction of |V| (mirrors |Ci|).
+    category_fraction: float
+    notes: str = ""
+
+
+def road_network(
+    rows: int,
+    cols: int,
+    seed: int = 0,
+    directed: bool = False,
+    travel_time: bool = False,
+    perturbation: float = 0.1,
+) -> Graph:
+    """A road-like network: a grid with perturbed weights plus shortcuts.
+
+    ``perturbation`` controls the fraction of extra "highway" edges that skip
+    across the grid (real road networks are not perfectly planar grids; a few
+    long edges break the triangle inequality for travel-time weights, which
+    the paper's *general graph* setting explicitly allows).
+    """
+    rng = random.Random(seed)
+    lo, hi = (1.0, 10.0) if not travel_time else (0.5, 20.0)
+    g = grid_graph(rows, cols, rng=rng, min_weight=lo, max_weight=hi, undirected=not directed)
+    if directed:
+        # grid_graph(undirected=False) only creates east/south edges; add the
+        # reverse direction with independently drawn weights so the graph is
+        # strongly connected but asymmetric (travel times differ by direction).
+        for u, v, _ in list(g.edges()):
+            if not g.has_edge(v, u):
+                g.add_edge(v, u, rng.uniform(lo, hi))
+    n = g.num_vertices
+    num_shortcuts = int(perturbation * n)
+    for _ in range(num_shortcuts):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            w = rng.uniform(lo, hi)
+            g.add_edge(u, v, w, undirected=not directed)
+    return g
+
+
+def social_network(
+    n: int,
+    attach: int = 8,
+    seed: int = 0,
+) -> Graph:
+    """A scale-free small-diameter digraph with unit weights (G+ analogue).
+
+    Barabási–Albert preferential attachment; each new vertex links to
+    ``attach`` existing vertices in both directions, yielding a dense core
+    and diameter of a handful of hops.
+    """
+    rng = random.Random(seed)
+    g = Graph(n)
+    if n <= attach:
+        for u in range(n):
+            for v in range(n):
+                if u != v:
+                    g.add_edge(u, v, 1.0)
+        return g
+    # Seed clique among the first `attach + 1` vertices.
+    targets: List[int] = []
+    for u in range(attach + 1):
+        for v in range(attach + 1):
+            if u != v:
+                g.add_edge(u, v, 1.0)
+        targets.extend([u] * attach)
+    for u in range(attach + 1, n):
+        chosen = set()
+        while len(chosen) < attach:
+            chosen.add(targets[rng.randrange(len(targets))])
+        for v in chosen:
+            g.add_edge(u, v, 1.0)
+            g.add_edge(v, u, 1.0)
+            targets.append(v)
+        targets.extend([u] * attach)
+    return g
+
+
+def _assign_real_style_categories(
+    graph: Graph,
+    num_categories: int,
+    coverage: float,
+    seed: int,
+    name_prefix: str,
+) -> List[int]:
+    """Categories with zipf-ish varying sizes covering ``coverage`` of |V|.
+
+    Mirrors the *real* category data on CAL (63 categories over 70% of
+    vertices) and NYC (135 POI categories over ~3% of vertices): a few big
+    categories, many small ones.
+    """
+    rng = random.Random(seed)
+    total = int(coverage * graph.num_vertices)
+    weights = [1.0 / (r ** 0.8) for r in range(1, num_categories + 1)]
+    wsum = sum(weights)
+    vertices = list(range(graph.num_vertices))
+    cids = []
+    for i, w in enumerate(weights):
+        size = max(2, int(round(total * w / wsum)))
+        size = min(size, graph.num_vertices)
+        cid = graph.add_category(f"{name_prefix}{i}")
+        for v in rng.sample(vertices, size):
+            graph.assign_category(v, cid)
+        cids.append(cid)
+    return cids
+
+
+# ----------------------------------------------------------------------
+# The five dataset analogues.  ``scale`` multiplies the vertex budget.
+# ----------------------------------------------------------------------
+
+CAL_SPEC = DatasetSpec(
+    name="CAL",
+    paper_name="California road network (68,345 V / 68,990 E, 63 real categories)",
+    directed=False,
+    unit_weights=False,
+    num_categories=63,
+    category_fraction=0.0,
+    notes="real-style varying category sizes covering ~70% of vertices",
+)
+NYC_SPEC = DatasetSpec(
+    name="NYC",
+    paper_name="New York City road network (980,632 V, 135 POI categories)",
+    directed=False,
+    unit_weights=False,
+    num_categories=135,
+    category_fraction=0.0,
+    notes="sparse POI-style categories covering ~3% of vertices",
+)
+COL_SPEC = DatasetSpec(
+    name="COL",
+    paper_name="Colorado road network (435,666 V / 1,057,066 E, travel times)",
+    directed=True,
+    unit_weights=False,
+    num_categories=20,
+    category_fraction=0.025,
+    notes="uniform categories, directed travel-time weights",
+)
+FLA_SPEC = DatasetSpec(
+    name="FLA",
+    paper_name="Florida road network (1,070,376 V / 2,687,902 E, travel times)",
+    directed=True,
+    unit_weights=False,
+    num_categories=20,
+    category_fraction=0.025,
+    notes="uniform categories, directed travel-time weights; default sweep graph",
+)
+GPLUS_SPEC = DatasetSpec(
+    name="G+",
+    paper_name="Google+ social graph (107,614 V / 13,673,453 E, unit weights)",
+    directed=True,
+    unit_weights=True,
+    num_categories=20,
+    category_fraction=0.025,
+    notes="scale-free, diameter ~6, unit weights",
+)
+
+
+def cal(scale: float = 1.0, seed: int = 7) -> Graph:
+    """CAL analogue: small undirected road net with 63 real-style categories."""
+    side = max(4, int(40 * (scale ** 0.5)))
+    g = road_network(side, side, seed=seed, directed=False)
+    _assign_real_style_categories(g, CAL_SPEC.num_categories, 0.7, seed + 1, "cal")
+    return g
+
+
+def nyc(scale: float = 1.0, seed: int = 11) -> Graph:
+    """NYC analogue: larger undirected road net with sparse POI categories."""
+    side = max(4, int(50 * (scale ** 0.5)))
+    g = road_network(side, side, seed=seed, directed=False)
+    _assign_real_style_categories(g, NYC_SPEC.num_categories, 0.4, seed + 1, "nyc")
+    return g
+
+
+def col(scale: float = 1.0, seed: int = 13, category_fraction: Optional[float] = None) -> Graph:
+    """COL analogue: directed travel-time road net, uniform categories."""
+    side = max(4, int(55 * (scale ** 0.5)))
+    g = road_network(side, side, seed=seed, directed=True, travel_time=True)
+    frac = COL_SPEC.category_fraction if category_fraction is None else category_fraction
+    size = max(2, int(frac * g.num_vertices))
+    assign_uniform_categories(g, COL_SPEC.num_categories, size, random.Random(seed + 1))
+    return g
+
+
+def fla(
+    scale: float = 1.0,
+    seed: int = 17,
+    category_fraction: Optional[float] = None,
+    zipf_factor: Optional[float] = None,
+    num_categories: Optional[int] = None,
+) -> Graph:
+    """FLA analogue: the paper's default sweep graph.
+
+    With ``zipf_factor`` set, categories follow the zipfian scheme of Fig. 6
+    instead of the uniform default.
+    """
+    side = max(4, int(65 * (scale ** 0.5)))
+    g = road_network(side, side, seed=seed, directed=True, travel_time=True)
+    ncat = num_categories if num_categories is not None else FLA_SPEC.num_categories
+    if zipf_factor is not None:
+        assign_zipfian_categories(
+            g, ncat, zipf_factor, rng=random.Random(seed + 1)
+        )
+    else:
+        frac = FLA_SPEC.category_fraction if category_fraction is None else category_fraction
+        size = max(2, int(frac * g.num_vertices))
+        assign_uniform_categories(g, ncat, size, random.Random(seed + 1))
+    return g
+
+
+def gplus(scale: float = 1.0, seed: int = 23, category_fraction: Optional[float] = None) -> Graph:
+    """G+ analogue: dense unit-weight scale-free digraph."""
+    n = max(30, int(800 * scale))
+    g = social_network(n, attach=10, seed=seed)
+    frac = GPLUS_SPEC.category_fraction if category_fraction is None else category_fraction
+    size = max(2, int(frac * g.num_vertices))
+    assign_uniform_categories(g, GPLUS_SPEC.num_categories, size, random.Random(seed + 1))
+    return g
+
+
+DATASET_NAMES: Tuple[str, ...] = ("CAL", "NYC", "COL", "FLA", "G+")
+
+_FACTORIES: Dict[str, Callable[..., Graph]] = {
+    "CAL": cal,
+    "NYC": nyc,
+    "COL": col,
+    "FLA": fla,
+    "G+": gplus,
+}
+
+SPECS: Dict[str, DatasetSpec] = {
+    "CAL": CAL_SPEC,
+    "NYC": NYC_SPEC,
+    "COL": COL_SPEC,
+    "FLA": FLA_SPEC,
+    "G+": GPLUS_SPEC,
+}
+
+
+def dataset_by_name(name: str, scale: float = 1.0, **kwargs) -> Graph:
+    """Build a dataset analogue by its paper name (``CAL``/``NYC``/``COL``/``FLA``/``G+``)."""
+    try:
+        factory = _FACTORIES[name.upper() if name != "G+" else "G+"]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}") from None
+    return factory(scale=scale, **kwargs)

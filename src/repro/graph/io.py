@@ -1,0 +1,126 @@
+"""Graph file IO: DIMACS shortest-path format, edge lists, and JSON.
+
+The paper's road graphs (COL/FLA) ship in the 9th DIMACS challenge ``.gr``
+format; CAL ships as whitespace edge lists with a separate category file.
+We support both plus a JSON round-trip format that captures categories.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def read_dimacs(path: PathLike) -> Graph:
+    """Read a 9th-DIMACS-challenge ``.gr`` file (``p sp n m`` / ``a u v w``).
+
+    DIMACS vertices are 1-based; they are shifted to 0-based ids.
+    """
+    graph = None
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                if len(parts) != 4 or parts[1] != "sp":
+                    raise GraphError(f"{path}:{lineno}: malformed problem line {line!r}")
+                graph = Graph(int(parts[2]))
+            elif parts[0] == "a":
+                if graph is None:
+                    raise GraphError(f"{path}:{lineno}: arc before problem line")
+                if len(parts) != 4:
+                    raise GraphError(f"{path}:{lineno}: malformed arc line {line!r}")
+                u, v, w = int(parts[1]) - 1, int(parts[2]) - 1, float(parts[3])
+                graph.add_edge(u, v, w)
+            else:
+                raise GraphError(f"{path}:{lineno}: unknown record {parts[0]!r}")
+    if graph is None:
+        raise GraphError(f"{path}: no problem line found")
+    return graph
+
+
+def write_dimacs(graph: Graph, path: PathLike, comment: str = "") -> None:
+    """Write a graph in DIMACS ``.gr`` format (1-based, weights as given)."""
+    with open(path, "w") as f:
+        if comment:
+            for line in comment.splitlines():
+                f.write(f"c {line}\n")
+        f.write(f"p sp {graph.num_vertices} {graph.num_edges}\n")
+        for u, v, w in graph.edges():
+            f.write(f"a {u + 1} {v + 1} {w!r}\n")
+
+
+def read_edge_list(path: PathLike, undirected: bool = False) -> Graph:
+    """Read a whitespace edge list ``u v weight`` (0-based vertex ids)."""
+    edges = []
+    max_vertex = -1
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{lineno}: malformed edge {line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            w = float(parts[2]) if len(parts) > 2 else 1.0
+            edges.append((u, v, w))
+            max_vertex = max(max_vertex, u, v)
+    graph = Graph(max_vertex + 1)
+    for u, v, w in edges:
+        graph.add_edge(u, v, w, undirected=undirected)
+    return graph
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write a whitespace edge list ``u v weight``."""
+    with open(path, "w") as f:
+        for u, v, w in graph.edges():
+            f.write(f"{u} {v} {w!r}\n")
+
+
+def graph_to_dict(graph: Graph) -> Dict:
+    """Serialise a graph (structure + categories) to plain JSON-able data."""
+    return {
+        "num_vertices": graph.num_vertices,
+        "edges": [[u, v, w] for u, v, w in graph.edges()],
+        "categories": list(graph.category_names()),
+        "assignments": [
+            [v, sorted(graph.categories_of(v))]
+            for v in graph.vertices()
+            if graph.categories_of(v)
+        ],
+    }
+
+
+def graph_from_dict(data: Dict) -> Graph:
+    """Inverse of :func:`graph_to_dict`."""
+    graph = Graph(int(data["num_vertices"]))
+    for u, v, w in data.get("edges", []):
+        graph.add_edge(int(u), int(v), float(w))
+    for name in data.get("categories", []):
+        graph.add_category(name)
+    for v, cids in data.get("assignments", []):
+        for cid in cids:
+            graph.assign_category(int(v), int(cid))
+    return graph
+
+
+def save_json(graph: Graph, path: PathLike) -> None:
+    """Write the JSON round-trip format."""
+    with open(path, "w") as f:
+        json.dump(graph_to_dict(graph), f)
+
+
+def load_json(path: PathLike) -> Graph:
+    """Read the JSON round-trip format."""
+    with open(path) as f:
+        return graph_from_dict(json.load(f))

@@ -1,0 +1,66 @@
+"""The paper's running-example graph (Figure 1).
+
+The figure's edge set is recovered from the worked examples: the label
+index of Table IV, the queue traces of Tables III and VI, and the route
+costs of Example 1 jointly pin down all 14 directed edges.  Tests assert
+every published number against this graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.graph.graph import Graph
+
+#: vertex name -> id, fixed for readable tests
+FIGURE1_VERTICES: Dict[str, int] = {
+    "a": 0, "b": 1, "c": 2, "d": 3, "e": 4, "f": 5, "s": 6, "t": 7,
+}
+
+#: category name -> member vertex names
+FIGURE1_CATEGORIES: Dict[str, Tuple[str, ...]] = {
+    "MA": ("a", "c"),  # shopping malls
+    "RE": ("b", "e"),  # restaurants
+    "CI": ("d", "f"),  # cinemas
+}
+
+#: the 14 directed edges of Figure 1
+FIGURE1_EDGES: Tuple[Tuple[str, str, float], ...] = (
+    ("s", "a", 8.0),
+    ("s", "c", 10.0),
+    ("a", "b", 5.0),
+    ("a", "e", 6.0),
+    ("b", "s", 5.0),
+    ("b", "d", 3.0),
+    ("c", "b", 5.0),
+    ("c", "d", 3.0),
+    ("e", "d", 3.0),
+    ("e", "f", 10.0),
+    ("d", "t", 4.0),
+    ("f", "t", 3.0),
+    ("t", "c", 15.0),
+    ("t", "e", 10.0),
+)
+
+
+def paper_figure1_graph() -> Graph:
+    """Build the Figure 1 graph with its MA/RE/CI categories."""
+    graph = Graph(len(FIGURE1_VERTICES))
+    for u, v, w in FIGURE1_EDGES:
+        graph.add_edge(FIGURE1_VERTICES[u], FIGURE1_VERTICES[v], w)
+    for cat, members in FIGURE1_CATEGORIES.items():
+        cid = graph.add_category(cat)
+        for name in members:
+            graph.assign_category(FIGURE1_VERTICES[name], cid)
+    return graph
+
+
+def vertex(name: str) -> int:
+    """Vertex id of a Figure 1 vertex name."""
+    return FIGURE1_VERTICES[name]
+
+
+def names(vertices) -> Tuple[str, ...]:
+    """Map vertex ids back to Figure 1 names (for readable assertions)."""
+    reverse = {v: k for k, v in FIGURE1_VERTICES.items()}
+    return tuple(reverse[v] for v in vertices)

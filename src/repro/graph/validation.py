@@ -1,0 +1,115 @@
+"""Graph diagnostics: connectivity, category coverage, metric properties.
+
+The paper's central modelling point is that travel-time road networks are
+*general graphs* — their edge weights need not satisfy the triangle
+inequality, which rules out the Euclidean-space OSR machinery (LORD,
+R-LORD, Voronoi-based methods; Table I).  :func:`triangle_violations`
+makes that property measurable on any input graph, and the remaining
+helpers sanity-check inputs before indexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.graph import Graph
+from repro.paths.dijkstra import dijkstra
+from repro.types import Cost, Vertex
+
+
+@dataclass
+class GraphReport:
+    """Summary produced by :func:`validate_graph`."""
+
+    num_vertices: int
+    num_edges: int
+    num_categories: int
+    num_isolated: int
+    strongly_connected: bool
+    min_weight: Cost
+    max_weight: Cost
+    category_sizes: Dict[str, int] = field(default_factory=dict)
+    uncategorized_vertices: int = 0
+
+    @property
+    def issues(self) -> List[str]:
+        """Human-readable warnings for inputs likely to disappoint."""
+        found = []
+        if self.num_vertices == 0:
+            found.append("graph has no vertices")
+        if self.num_isolated:
+            found.append(f"{self.num_isolated} isolated vertices")
+        if not self.strongly_connected:
+            found.append("graph is not strongly connected; some queries "
+                         "will be infeasible")
+        empty = [name for name, size in self.category_sizes.items() if size == 0]
+        if empty:
+            found.append(f"empty categories: {', '.join(empty)}")
+        return found
+
+
+def is_strongly_connected(graph: Graph) -> bool:
+    """True when every vertex reaches every other (two sweeps from vertex 0)."""
+    n = graph.num_vertices
+    if n <= 1:
+        return True
+    forward = dijkstra(graph, 0)
+    if len(forward) < n:
+        return False
+    backward = dijkstra(graph, 0, reverse=True)
+    return len(backward) == n
+
+
+def validate_graph(graph: Graph) -> GraphReport:
+    """Collect structural statistics and likely-problem warnings."""
+    weights = [w for _, _, w in graph.edges()]
+    isolated = sum(
+        1 for v in graph.vertices()
+        if graph.out_degree(v) == 0 and graph.in_degree(v) == 0
+    )
+    uncategorized = sum(
+        1 for v in graph.vertices() if not graph.categories_of(v)
+    )
+    return GraphReport(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        num_categories=graph.num_categories,
+        num_isolated=isolated,
+        strongly_connected=is_strongly_connected(graph),
+        min_weight=min(weights) if weights else 0.0,
+        max_weight=max(weights) if weights else 0.0,
+        category_sizes={
+            graph.category_name(c): graph.category_size(c)
+            for c in range(graph.num_categories)
+        },
+        uncategorized_vertices=uncategorized,
+    )
+
+
+def triangle_violations(
+    graph: Graph, sample_vertices: Optional[int] = None
+) -> List[Tuple[Vertex, Vertex, Vertex, Cost]]:
+    """Edge-based triangle-inequality violations ``w(u,v) > w(u,x) + w(x,v)``.
+
+    Returns ``(u, x, v, slack)`` triples where the direct edge is costlier
+    than a two-edge detour — impossible for Euclidean distances, routine
+    for travel times.  ``sample_vertices`` caps the vertices scanned.
+    """
+    violations = []
+    vertices = list(graph.vertices())
+    if sample_vertices is not None:
+        vertices = vertices[:sample_vertices]
+    for u in vertices:
+        direct = dict(graph.neighbors_out(u))
+        for x, w_ux in direct.items():
+            for v, w_xv in graph.neighbors_out(x):
+                w_uv = direct.get(v)
+                if w_uv is not None and w_uv > w_ux + w_xv + 1e-12:
+                    violations.append((u, x, v, w_uv - (w_ux + w_xv)))
+    return violations
+
+
+def is_metric(graph: Graph, sample_vertices: Optional[int] = None) -> bool:
+    """True when no sampled edge violates the triangle inequality."""
+    return not triangle_violations(graph, sample_vertices)

@@ -1,0 +1,44 @@
+"""2-hop / hub labeling substrate (Sec. IV-A of the paper).
+
+* :mod:`repro.labeling.pll` — pruned landmark labeling construction
+  (Akiba et al., SIGMOD 2013), extended to directed weighted graphs with
+  pruned Dijkstra searches.
+* :mod:`repro.labeling.labels` — the label index: ``Lin``/``Lout`` entries,
+  merge-join distance queries, and actual-route restoration via per-entry
+  parent pointers.
+* :mod:`repro.labeling.inverted` — the paper's per-category inverted label
+  index ``IL(Ci)`` that makes FindNN incremental.
+* :mod:`repro.labeling.storage` — disk-resident per-category shards (SK-DB).
+* :mod:`repro.labeling.updates` — dynamic category updates (Sec. IV-C).
+"""
+
+from repro.labeling.labels import LabelEntry, LabelIndex
+from repro.labeling.order import degree_order, random_order
+from repro.labeling.pll import build_pruned_landmark_labels
+from repro.labeling.pll_unweighted import (
+    build_bfs_labels,
+    build_labels_auto,
+    graph_is_unit_weight,
+)
+from repro.labeling.inverted import InvertedLabelIndex, build_inverted_indexes
+from repro.labeling.packed import PackedLabelIndex
+from repro.labeling.storage import CategoryShardStore, DiskLabelRepository
+from repro.labeling.updates import add_vertex_to_category, remove_vertex_from_category
+
+__all__ = [
+    "LabelEntry",
+    "LabelIndex",
+    "degree_order",
+    "random_order",
+    "build_pruned_landmark_labels",
+    "build_bfs_labels",
+    "build_labels_auto",
+    "graph_is_unit_weight",
+    "InvertedLabelIndex",
+    "build_inverted_indexes",
+    "PackedLabelIndex",
+    "CategoryShardStore",
+    "DiskLabelRepository",
+    "add_vertex_to_category",
+    "remove_vertex_from_category",
+]

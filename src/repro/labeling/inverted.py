@@ -1,0 +1,84 @@
+"""The inverted label index ``IL(Ci)`` (Sec. IV-A, Table V).
+
+For a category ``Ci``, the inverted index groups the ``Lin`` entries of all
+member vertices *by hub*: ``IL(u')`` lists ``(d_{u',m}, m)`` for every member
+``m`` whose ``Lin(m)`` contains hub ``u'``, sorted by distance ascending.
+
+FindNN then only needs, for each hub ``u'`` appearing in ``Lout(v)``, to
+scan ``IL(u')`` in order — a k-way merge that yields members of ``Ci`` in
+non-decreasing ``dis(v, ·)`` order.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Dict, List, Tuple
+
+from repro.graph.graph import Graph
+from repro.labeling.labels import LabelIndex
+from repro.types import CategoryId, Cost, Vertex
+
+
+class InvertedLabelIndex:
+    """Inverted label lists of one category."""
+
+    def __init__(self, category: CategoryId):
+        self.category = category
+        #: hub vertex -> [(dist_from_hub_to_member, member)], sorted ascending.
+        self.lists: Dict[Vertex, List[Tuple[Cost, Vertex]]] = {}
+
+    def add_entry(self, hub: Vertex, dist: Cost, member: Vertex) -> None:
+        """Insert one ``(dist, member)`` pair keeping the hub list sorted."""
+        insort(self.lists.setdefault(hub, []), (dist, member))
+
+    def remove_member(self, hub: Vertex, dist: Cost, member: Vertex) -> None:
+        """Remove one pair (no-op when absent)."""
+        entries = self.lists.get(hub)
+        if not entries:
+            return
+        try:
+            entries.remove((dist, member))
+        except ValueError:
+            return
+        if not entries:
+            del self.lists[hub]
+
+    def hub_list(self, hub: Vertex) -> List[Tuple[Cost, Vertex]]:
+        """The sorted entries of hub ``hub`` (empty when the hub is unused)."""
+        return self.lists.get(hub, [])
+
+    @property
+    def total_entries(self) -> int:
+        """``|IL(Ci)|`` — total label entries in this category's index."""
+        return sum(len(v) for v in self.lists.values())
+
+    @property
+    def num_hubs(self) -> int:
+        return len(self.lists)
+
+    def average_list_length(self) -> float:
+        """Avg ``|IL(v)|`` per hub — the Table IX statistic."""
+        if not self.lists:
+            return 0.0
+        return self.total_entries / len(self.lists)
+
+
+def build_inverted_index(
+    graph: Graph, labels: LabelIndex, category: CategoryId
+) -> InvertedLabelIndex:
+    """Build ``IL(Ci)`` for one category from the label index."""
+    il = InvertedLabelIndex(category)
+    for member in sorted(graph.members(category)):
+        for entry in labels.lin(member):
+            il.add_entry(labels.hub_vertex(entry.hub_rank), entry.dist, member)
+    return il
+
+
+def build_inverted_indexes(
+    graph: Graph, labels: LabelIndex
+) -> Dict[CategoryId, InvertedLabelIndex]:
+    """Build inverted indexes for every category of the graph."""
+    return {
+        cid: build_inverted_index(graph, labels, cid)
+        for cid in range(graph.num_categories)
+    }

@@ -1,0 +1,308 @@
+"""Compact array-backed label storage (the paper's compression remark).
+
+Sec. V-A notes that on large graphs "the index sizes may be too large to
+fit into main memory" and points at hub-label compression [12].  This
+module provides the first rung of that ladder: a packed representation
+that stores each vertex's label set in three parallel ``array`` buffers
+(hub ranks, distances, parents) instead of per-entry Python objects —
+roughly an order of magnitude less memory than lists of dataclasses —
+plus a delta-encoded binary serialisation.
+
+:class:`PackedLabelIndex` offers the same query surface as
+:class:`repro.labeling.labels.LabelIndex` (``distance``,
+``distance_with_hub``, ``path``, ``lin``/``lout``), so it can be swapped
+in wherever memory matters; tests assert full parity.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.exceptions import IndexBuildError, IndexStorageError
+from repro.labeling.labels import LabelEntry, LabelIndex
+from repro.types import Cost, INFINITY, Vertex
+
+PathLike = Union[str, Path]
+
+#: parent sentinel for hub self-entries
+_NO_PARENT = -1
+
+_MAGIC = b"RPLI"
+_VERSION = 1
+
+
+class _PackedSide:
+    """One direction's labels (all vertices) in packed form."""
+
+    __slots__ = ("offsets", "hub_ranks", "dists", "parents")
+
+    def __init__(self) -> None:
+        self.offsets = array("q", [0])
+        self.hub_ranks = array("q")
+        self.dists = array("d")
+        self.parents = array("q")
+
+    def append_label(self, entries: List[LabelEntry]) -> None:
+        for e in entries:
+            self.hub_ranks.append(e.hub_rank)
+            self.dists.append(e.dist)
+            self.parents.append(_NO_PARENT if e.parent is None else e.parent)
+        self.offsets.append(len(self.hub_ranks))
+
+    def slice(self, v: Vertex) -> Tuple[int, int]:
+        return self.offsets[v], self.offsets[v + 1]
+
+    def entries(self, v: Vertex) -> List[LabelEntry]:
+        lo, hi = self.slice(v)
+        return [
+            LabelEntry(
+                self.hub_ranks[i],
+                self.dists[i],
+                None if self.parents[i] == _NO_PARENT else self.parents[i],
+            )
+            for i in range(lo, hi)
+        ]
+
+    @property
+    def nbytes(self) -> int:
+        return (
+            self.offsets.itemsize * len(self.offsets)
+            + self.hub_ranks.itemsize * len(self.hub_ranks)
+            + self.dists.itemsize * len(self.dists)
+            + self.parents.itemsize * len(self.parents)
+        )
+
+
+class PackedLabelIndex:
+    """Array-backed 2-hop label index with the LabelIndex query surface."""
+
+    def __init__(self, order: List[Vertex], lin: _PackedSide, lout: _PackedSide):
+        self._order = list(order)
+        self._lin = lin
+        self._lout = lout
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_index(cls, labels: LabelIndex) -> "PackedLabelIndex":
+        """Pack an object-based :class:`LabelIndex`."""
+        lin, lout = _PackedSide(), _PackedSide()
+        for v in range(labels.num_vertices):
+            lin.append_label(labels.lin(v))
+            lout.append_label(labels.lout(v))
+        return cls(labels.order, lin, lout)
+
+    def to_index(self) -> LabelIndex:
+        """Unpack back into the object representation."""
+        n = self.num_vertices
+        return LabelIndex(
+            self._order,
+            [self._lin.entries(v) for v in range(n)],
+            [self._lout.entries(v) for v in range(n)],
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._lin.offsets) - 1
+
+    @property
+    def order(self) -> List[Vertex]:
+        return self._order
+
+    def hub_vertex(self, hub_rank: int) -> Vertex:
+        return self._order[hub_rank]
+
+    def lin(self, v: Vertex) -> List[LabelEntry]:
+        return self._lin.entries(v)
+
+    def lout(self, v: Vertex) -> List[LabelEntry]:
+        return self._lout.entries(v)
+
+    @property
+    def nbytes(self) -> int:
+        """Buffer memory of the packed representation."""
+        return self._lin.nbytes + self._lout.nbytes + 8 * len(self._order)
+
+    def size_entries(self) -> int:
+        return len(self._lin.hub_ranks) + len(self._lout.hub_ranks)
+
+    def average_label_sizes(self) -> Tuple[float, float]:
+        n = max(1, self.num_vertices)
+        return len(self._lin.hub_ranks) / n, len(self._lout.hub_ranks) / n
+
+    # ------------------------------------------------------------------
+    def distance(self, s: Vertex, t: Vertex) -> Cost:
+        """``dis(s, t)`` by merge join over the packed buffers."""
+        if s == t:
+            return 0.0
+        return self._merge(s, t)[0]
+
+    def distance_with_hub(self, s: Vertex, t: Vertex) -> Tuple[Cost, Optional[int]]:
+        if s == t:
+            return 0.0, None
+        return self._merge(s, t)
+
+    def _merge(self, s: Vertex, t: Vertex) -> Tuple[Cost, Optional[int]]:
+        out, ins = self._lout, self._lin
+        i, i_end = out.slice(s)
+        j, j_end = ins.slice(t)
+        best = INFINITY
+        best_hub: Optional[int] = None
+        ranks_o, ranks_i = out.hub_ranks, ins.hub_ranks
+        dists_o, dists_i = out.dists, ins.dists
+        while i < i_end and j < j_end:
+            a, b = ranks_o[i], ranks_i[j]
+            if a == b:
+                total = dists_o[i] + dists_i[j]
+                if total < best:
+                    best = total
+                    best_hub = a
+                i += 1
+                j += 1
+            elif a < b:
+                i += 1
+            else:
+                j += 1
+        return best, best_hub
+
+    def path(self, s: Vertex, t: Vertex) -> Tuple[Cost, List[Vertex]]:
+        """Path restoration identical to the unpacked index."""
+        if s == t:
+            return 0.0, [s]
+        dist, hub_rank = self.distance_with_hub(s, t)
+        if hub_rank is None or dist == INFINITY:
+            return INFINITY, []
+        hub = self._order[hub_rank]
+        left = [s]
+        cur = s
+        while cur != hub:
+            parent = self._find_parent(self._lout, cur, hub_rank)
+            if parent is None:
+                break
+            cur = parent
+            left.append(cur)
+        right: List[Vertex] = []
+        cur = t
+        while cur != hub:
+            parent = self._find_parent(self._lin, cur, hub_rank)
+            if parent is None:
+                break
+            right.append(cur)
+            cur = parent
+        right.reverse()
+        return dist, left + right
+
+    def _find_parent(self, side: _PackedSide, v: Vertex, hub_rank: int) -> Optional[Vertex]:
+        lo, hi = side.slice(v)
+        ranks = side.hub_ranks
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if ranks[mid] < hub_rank:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo >= side.slice(v)[1] or ranks[lo] != hub_rank:
+            raise IndexBuildError(
+                f"hub rank {hub_rank} missing from packed label of {v}"
+            )
+        parent = side.parents[lo]
+        return None if parent == _NO_PARENT else parent
+
+    # ------------------------------------------------------------------
+    # Binary serialisation with delta-encoded hub ranks.
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> int:
+        """Write a compact binary file; returns bytes written.
+
+        Hub ranks within one label are ascending, so they are stored as
+        varint deltas — the dominant size win over naive pickling.
+        """
+        payload = bytearray()
+        payload += _MAGIC
+        payload += struct.pack("<HQ", _VERSION, self.num_vertices)
+        payload += struct.pack("<Q", len(self._order))
+        payload += array("q", self._order).tobytes()
+        for side in (self._lin, self._lout):
+            payload += struct.pack("<Q", len(side.hub_ranks))
+            payload += side.offsets.tobytes()
+            payload += _delta_varint_encode(side.offsets, side.hub_ranks)
+            payload += side.dists.tobytes()
+            payload += array("q", side.parents).tobytes()
+        with open(path, "wb") as f:
+            f.write(payload)
+        return len(payload)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "PackedLabelIndex":
+        with open(path, "rb") as f:
+            data = f.read()
+        view = memoryview(data)
+        if view[:4] != _MAGIC:
+            raise IndexStorageError(f"{path}: not a packed label file")
+        version, n = struct.unpack_from("<HQ", view, 4)
+        if version != _VERSION:
+            raise IndexStorageError(f"{path}: unsupported version {version}")
+        pos = 4 + 10
+        (order_len,) = struct.unpack_from("<Q", view, pos)
+        pos += 8
+        order = array("q")
+        order.frombytes(view[pos: pos + 8 * order_len])
+        pos += 8 * order_len
+        sides = []
+        for _ in range(2):
+            (entry_count,) = struct.unpack_from("<Q", view, pos)
+            pos += 8
+            side = _PackedSide()
+            side.offsets = array("q")
+            side.offsets.frombytes(view[pos: pos + 8 * (n + 1)])
+            pos += 8 * (n + 1)
+            side.hub_ranks, pos = _delta_varint_decode(view, pos, side.offsets)
+            side.dists = array("d")
+            side.dists.frombytes(view[pos: pos + 8 * entry_count])
+            pos += 8 * entry_count
+            side.parents = array("q")
+            side.parents.frombytes(view[pos: pos + 8 * entry_count])
+            pos += 8 * entry_count
+            sides.append(side)
+        return cls(list(order), sides[0], sides[1])
+
+
+def _delta_varint_encode(offsets: array, ranks: array) -> bytes:
+    """Per-label ascending hub ranks -> varint-encoded first-rank + deltas."""
+    out = bytearray()
+    for v in range(len(offsets) - 1):
+        prev = 0
+        for i in range(offsets[v], offsets[v + 1]):
+            delta = ranks[i] - prev
+            prev = ranks[i]
+            while True:
+                byte = delta & 0x7F
+                delta >>= 7
+                if delta:
+                    out.append(byte | 0x80)
+                else:
+                    out.append(byte)
+                    break
+    return bytes(out)
+
+
+def _delta_varint_decode(view: memoryview, pos: int, offsets: array) -> Tuple[array, int]:
+    ranks = array("q")
+    for v in range(len(offsets) - 1):
+        prev = 0
+        for _ in range(offsets[v + 1] - offsets[v]):
+            shift = 0
+            value = 0
+            while True:
+                byte = view[pos]
+                pos += 1
+                value |= (byte & 0x7F) << shift
+                if not byte & 0x80:
+                    break
+                shift += 7
+            prev += value
+            ranks.append(prev)
+    return ranks, pos

@@ -1,0 +1,96 @@
+"""Dynamic updates (Sec. IV-C).
+
+The paper distinguishes *graph structure* updates — delegated to existing
+incremental hub-label maintenance work [3, 6, 38] — and *category* updates,
+which it spells out concretely:
+
+* inserting category ``Ci`` into ``F(v)``: add ``v`` to ``V_Ci`` and, for
+  each ``(u, d_{u,v}) ∈ Lin(v)``, binary-insert ``(d_{u,v}, v)`` into
+  ``IL(u) ∈ IL(Ci)`` — ``O(|Lin(v)| log |Ci|)``;
+* removing: the symmetric deletion.
+
+For structure updates we provide the honest fallback the paper's citations
+amount to for a from-scratch reproduction: rebuild the labels (and the
+affected inverted indexes).  The rebuild helper keeps graph, labels, and
+inverted indexes consistent in one call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.graph.graph import Graph
+from repro.labeling.inverted import InvertedLabelIndex, build_inverted_indexes
+from repro.labeling.labels import LabelIndex
+from repro.labeling.pll import build_pruned_landmark_labels
+from repro.types import CategoryId, Cost, Vertex
+
+
+def add_vertex_to_category(
+    graph: Graph,
+    labels: LabelIndex,
+    inverted: Dict[CategoryId, InvertedLabelIndex],
+    v: Vertex,
+    cid: CategoryId,
+) -> None:
+    """Insert ``cid`` into ``F(v)`` and update ``IL(cid)`` incrementally."""
+    if graph.has_category(v, cid):
+        return
+    graph.assign_category(v, cid)
+    il = inverted.setdefault(cid, InvertedLabelIndex(cid))
+    for entry in labels.lin(v):
+        il.add_entry(labels.hub_vertex(entry.hub_rank), entry.dist, v)
+
+
+def remove_vertex_from_category(
+    graph: Graph,
+    labels: LabelIndex,
+    inverted: Dict[CategoryId, InvertedLabelIndex],
+    v: Vertex,
+    cid: CategoryId,
+) -> None:
+    """Remove ``cid`` from ``F(v)`` and update ``IL(cid)`` incrementally."""
+    if not graph.has_category(v, cid):
+        return
+    graph.unassign_category(v, cid)
+    il = inverted.get(cid)
+    if il is None:
+        return
+    for entry in labels.lin(v):
+        il.remove_member(labels.hub_vertex(entry.hub_rank), entry.dist, v)
+
+
+def rebuild_after_structure_update(
+    graph: Graph,
+    order: Optional[Sequence[Vertex]] = None,
+) -> tuple:
+    """Rebuild labels + inverted indexes after edge insertions/removals.
+
+    Returns ``(labels, inverted)``.  The paper handles structure updates with
+    incremental label maintenance from the literature; a full rebuild gives
+    identical final state (tests assert this) at higher preprocessing cost.
+    """
+    labels = build_pruned_landmark_labels(graph, order)
+    inverted = build_inverted_indexes(graph, labels)
+    return labels, inverted
+
+
+def update_edge(
+    graph: Graph,
+    u: Vertex,
+    v: Vertex,
+    weight: Optional[Cost],
+    order: Optional[Sequence[Vertex]] = None,
+) -> tuple:
+    """Apply one edge update (insert/change with a weight, delete with ``None``)
+    and return freshly consistent ``(labels, inverted)``.
+
+    Weight changes are the paper's remove-insert pair.
+    """
+    if weight is None:
+        graph.remove_edge(u, v)
+    else:
+        if graph.has_edge(u, v):
+            graph.remove_edge(u, v)
+        graph.add_edge(u, v, weight)
+    return rebuild_after_structure_update(graph, order)

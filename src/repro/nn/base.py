@@ -1,0 +1,37 @@
+"""The nearest-neighbor oracle interface shared by all KOSR algorithms."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple
+
+from repro.types import CategoryId, Cost, Vertex
+
+
+class NearestNeighborFinder(ABC):
+    """Answers x-th-nearest-member queries and point-to-point distances.
+
+    ``queries`` counts *executed* nearest-neighbor computations; repeated
+    requests served from a cursor's already-found list (the paper's ``NL``
+    hits) are excluded, matching the evaluation criteria of Sec. V-A.
+    """
+
+    def __init__(self) -> None:
+        self.queries: int = 0
+
+    @abstractmethod
+    def find(
+        self, source: Vertex, category: CategoryId, x: int
+    ) -> Optional[Tuple[Vertex, Cost]]:
+        """The ``x``-th (1-based) nearest member of ``category`` from ``source``.
+
+        Returns ``(vertex, dis(source, vertex))`` or ``None`` when the
+        category has fewer than ``x`` reachable members.
+        """
+
+    @abstractmethod
+    def distance(self, s: Vertex, t: Vertex) -> Cost:
+        """``dis(s, t)`` (used for the destination leg and the A* heuristic)."""
+
+    def reset_stats(self) -> None:
+        self.queries = 0

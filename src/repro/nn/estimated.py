@@ -1,0 +1,109 @@
+"""FindNEN (Algorithm 4): x-th nearest *estimated* neighbor.
+
+StarKOSR extends witnesses through the neighbor ``u`` of ``v`` in category
+``Ci`` minimising ``dis(v, u) + dis(u, t)`` — the leg cost plus the
+admissible estimate to the destination.  FindNEN enumerates neighbors in
+that order by wrapping plain FindNN:
+
+* keep fetching plain nearest neighbors while the most recent one's leg
+  distance is *below* the smallest estimate waiting in ``ENQ`` — any
+  unfetched neighbor has a leg at least that long, hence an estimate at
+  least that large, so the heap top is final otherwise;
+* a fetched-but-not-yet-safe neighbor waits in the one-slot lookahead
+  ``ln`` exactly as in the paper.
+
+Members that cannot reach the destination (infinite estimate) are dropped:
+no feasible route extends through them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.nn.base import NearestNeighborFinder
+from repro.types import CategoryId, Cost, INFINITY, Vertex
+
+
+class _EstCursor:
+    __slots__ = ("enl", "enq", "ln", "nn_count", "exhausted")
+
+    def __init__(self) -> None:
+        #: returned estimated neighbors: (member, leg_dist, estimate)
+        self.enl: List[Tuple[Vertex, Cost, Cost]] = []
+        #: waiting candidates: (estimate, leg_dist, member)
+        self.enq: List[Tuple[Cost, Cost, Vertex]] = []
+        #: lookahead plain-NN not yet pushed
+        self.ln: Optional[Tuple[Vertex, Cost]] = None
+        self.nn_count = 0
+        self.exhausted = False
+
+
+class EstimatedNNFinder:
+    """Wraps a :class:`NearestNeighborFinder` with destination-directed order.
+
+    ``estimate(u)`` must be an admissible lower bound on the cost of
+    completing any route from ``u`` (StarKOSR passes ``dis(u, t)`` from the
+    hub labels).  NN-query accounting stays on the wrapped finder, matching
+    the paper's criterion that SK's NN count is the number of FindNN calls
+    FindNEN issues.
+    """
+
+    def __init__(
+        self,
+        finder: NearestNeighborFinder,
+        estimate: Callable[[Vertex], Cost],
+    ):
+        self._finder = finder
+        self._estimate = estimate
+        self._cursors: Dict[Tuple[Vertex, CategoryId], _EstCursor] = {}
+
+    @property
+    def queries(self) -> int:
+        return self._finder.queries
+
+    def find(
+        self, source: Vertex, category: CategoryId, x: int
+    ) -> Optional[Tuple[Vertex, Cost, Cost]]:
+        """The ``x``-th member by ``dis(source, ·) + estimate(·)``.
+
+        Returns ``(member, leg_dist, leg_dist + estimate(member))`` or
+        ``None`` when fewer than ``x`` members have finite estimates.
+        """
+        cursor = self._cursors.get((source, category))
+        if cursor is None:
+            cursor = _EstCursor()
+            self._cursors[(source, category)] = cursor
+        while len(cursor.enl) < x:
+            nxt = self._next(cursor, source, category)
+            if nxt is None:
+                return None
+        return cursor.enl[x - 1]
+
+    # ------------------------------------------------------------------
+    def _next(
+        self, cursor: _EstCursor, source: Vertex, category: CategoryId
+    ) -> Optional[Tuple[Vertex, Cost, Cost]]:
+        while True:
+            if cursor.ln is None and not cursor.exhausted:
+                res = self._finder.find(source, category, cursor.nn_count + 1)
+                if res is None:
+                    cursor.exhausted = True
+                else:
+                    cursor.nn_count += 1
+                    cursor.ln = res
+            if cursor.ln is None:
+                break  # NN stream dry; whatever is in ENQ is final
+            if cursor.enq and cursor.ln[1] >= cursor.enq[0][0]:
+                break  # every unfetched neighbor's estimate >= heap top
+            member, leg = cursor.ln
+            cursor.ln = None
+            h = self._estimate(member)
+            if h != INFINITY:
+                heapq.heappush(cursor.enq, (leg + h, leg, member))
+        if not cursor.enq:
+            return None
+        est, leg, member = heapq.heappop(cursor.enq)
+        item = (member, leg, est)
+        cursor.enl.append(item)
+        return item

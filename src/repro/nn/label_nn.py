@@ -1,0 +1,139 @@
+"""FindNN (Algorithm 3): incremental x-th nearest neighbor via inverted labels.
+
+For a source ``v`` and category ``Ci`` the cursor runs a k-way merge over
+the inverted lists ``IL(u')`` of every hub ``u' ∈ Lout(v)``:
+
+* ``NL`` — neighbors already produced, nearest first;
+* ``NQ`` — a heap of one frontier entry per hub list, keyed by
+  ``dis(v, u') + d_{u', m}``;
+* ``KV`` — per-hub read positions.
+
+Because every hub list is sorted, the merged stream is globally
+non-decreasing in total cost, so the first time a member pops it does so at
+its exact 2-hop distance (cover property).  One correctness refinement over
+the paper's pseudo-code: a member can sit in ``NQ`` through *two* hubs at
+once, so pops must skip members already in ``NL`` (Alg. 3 only skips them
+while advancing cursors).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.labeling.inverted import InvertedLabelIndex
+from repro.labeling.labels import LabelEntry, LabelIndex
+from repro.nn.base import NearestNeighborFinder
+from repro.types import CategoryId, Cost, Vertex
+
+
+class _Cursor:
+    """Merge state for one ``(source, category)`` pair."""
+
+    __slots__ = ("nl", "nq", "kv", "base", "found_set", "exhausted")
+
+    def __init__(self) -> None:
+        self.nl: List[Tuple[Vertex, Cost]] = []
+        # heap entries: (total_cost, member, hub)
+        self.nq: List[Tuple[Cost, Vertex, Vertex]] = []
+        self.kv: Dict[Vertex, int] = {}
+        self.base: Dict[Vertex, Cost] = {}
+        self.found_set = set()
+        self.exhausted = False
+
+
+class LabelNNFinder(NearestNeighborFinder):
+    """The paper's FindNN over a label index + per-category inverted indexes.
+
+    ``hub_list(category, hub)`` and ``lout(v)`` are injected as callables so
+    the same finder drives both the in-memory index and the SK-DB
+    per-query disk view.
+    """
+
+    def __init__(
+        self,
+        lout: Callable[[Vertex], List[LabelEntry]],
+        hub_vertex: Callable[[int], Vertex],
+        hub_list: Callable[[CategoryId, Vertex], List[Tuple[Cost, Vertex]]],
+        distance_func: Callable[[Vertex, Vertex], Cost],
+    ):
+        super().__init__()
+        self._lout = lout
+        self._hub_vertex = hub_vertex
+        self._hub_list = hub_list
+        self._distance = distance_func
+        self._cursors: Dict[Tuple[Vertex, CategoryId], _Cursor] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_index(
+        cls,
+        labels: LabelIndex,
+        inverted: Dict[CategoryId, InvertedLabelIndex],
+    ) -> "LabelNNFinder":
+        """Construct over the in-memory label + inverted indexes."""
+
+        def hub_list(cid: CategoryId, hub: Vertex) -> List[Tuple[Cost, Vertex]]:
+            il = inverted.get(cid)
+            return il.hub_list(hub) if il is not None else []
+
+        return cls(labels.lout, labels.hub_vertex, hub_list, labels.distance)
+
+    # ------------------------------------------------------------------
+    def find(
+        self, source: Vertex, category: CategoryId, x: int
+    ) -> Optional[Tuple[Vertex, Cost]]:
+        cursor = self._cursors.get((source, category))
+        if cursor is None:
+            cursor = _Cursor()
+            self._cursors[(source, category)] = cursor
+            self._init_cursor(cursor, source, category)
+        # NL hit: free (not counted as an executed NN query).
+        while len(cursor.nl) < x and not cursor.exhausted:
+            self.queries += 1
+            self._advance(cursor, category)
+        if x <= len(cursor.nl):
+            return cursor.nl[x - 1]
+        return None
+
+    def distance(self, s: Vertex, t: Vertex) -> Cost:
+        return self._distance(s, t)
+
+    # ------------------------------------------------------------------
+    def _init_cursor(self, cursor: _Cursor, source: Vertex, category: CategoryId) -> None:
+        """Lines 6-10 of Algorithm 3: seed NQ with each hub list's head."""
+        for entry in self._lout(source):
+            hub = self._hub_vertex(entry.hub_rank)
+            lst = self._hub_list(category, hub)
+            if lst:
+                d, member = lst[0]
+                cursor.base[hub] = entry.dist
+                cursor.kv[hub] = 1
+                heapq.heappush(cursor.nq, (entry.dist + d, member, hub))
+        if not cursor.nq:
+            cursor.exhausted = True
+
+    def _advance(self, cursor: _Cursor, category: CategoryId) -> None:
+        """Produce the next nearest neighbor into ``NL`` (lines 11-18)."""
+        while cursor.nq:
+            total, member, hub = heapq.heappop(cursor.nq)
+            self._push_next_from_hub(cursor, category, hub)
+            if member in cursor.found_set:
+                continue  # stale duplicate through another hub
+            cursor.found_set.add(member)
+            cursor.nl.append((member, total))
+            return
+        cursor.exhausted = True
+
+    def _push_next_from_hub(self, cursor: _Cursor, category: CategoryId, hub: Vertex) -> None:
+        """Advance KV[hub], skipping members already found (the do-while)."""
+        lst = self._hub_list(category, hub)
+        pos = cursor.kv[hub]
+        while pos < len(lst) and lst[pos][1] in cursor.found_set:
+            pos += 1
+        if pos < len(lst):
+            d, member = lst[pos]
+            heapq.heappush(cursor.nq, (cursor.base[hub] + d, member, hub))
+            cursor.kv[hub] = pos + 1
+        else:
+            cursor.kv[hub] = len(lst)

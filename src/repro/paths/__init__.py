@@ -1,0 +1,25 @@
+"""Shortest-path substrate: Dijkstra family, A*, bidirectional, k-NN cursors."""
+
+from repro.paths.dijkstra import (
+    dijkstra,
+    dijkstra_distance,
+    dijkstra_path,
+    multi_source_dijkstra,
+    dijkstra_to_targets,
+)
+from repro.paths.astar import astar_path
+from repro.paths.bidirectional import bidirectional_distance
+from repro.paths.knn import DijkstraKnnCursor, RestartingKnnFinder, knn_in_category
+
+__all__ = [
+    "dijkstra",
+    "dijkstra_distance",
+    "dijkstra_path",
+    "multi_source_dijkstra",
+    "dijkstra_to_targets",
+    "astar_path",
+    "bidirectional_distance",
+    "DijkstraKnnCursor",
+    "RestartingKnnFinder",
+    "knn_in_category",
+]

@@ -1,0 +1,55 @@
+"""A* search over the graph substrate.
+
+The KOSR StarKOSR algorithm applies A*'s idea at the *witness* level; this
+module provides the classic vertex-level A* as a substrate utility (examples
+and tests use it, and it documents the admissibility contract StarKOSR
+relies on).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Tuple
+
+from repro.graph.graph import Graph
+from repro.types import Cost, INFINITY, Vertex
+
+Heuristic = Callable[[Vertex], Cost]
+
+
+def astar_path(
+    graph: Graph,
+    source: Vertex,
+    target: Vertex,
+    heuristic: Heuristic,
+) -> Tuple[Cost, List[Vertex]]:
+    """A* from ``source`` to ``target`` under an admissible ``heuristic``.
+
+    ``heuristic(v)`` must lower-bound the true distance from ``v`` to
+    ``target``; with ``heuristic = lambda v: 0`` this degenerates to
+    Dijkstra.  Returns ``(INFINITY, [])`` when unreachable.
+    """
+    if source == target:
+        return 0.0, [source]
+    g_score: Dict[Vertex, Cost] = {source: 0.0}
+    parent: Dict[Vertex, Vertex] = {}
+    heap: List[Tuple[Cost, Cost, Vertex]] = [(heuristic(source), 0.0, source)]
+    settled = set()
+    while heap:
+        _, d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        if u == target:
+            path = [u]
+            while path[-1] != source:
+                path.append(parent[path[-1]])
+            path.reverse()
+            return d, path
+        settled.add(u)
+        for v, w in graph.neighbors_out(u):
+            nd = d + w
+            if nd < g_score.get(v, INFINITY):
+                g_score[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd + heuristic(v), nd, v))
+    return INFINITY, []

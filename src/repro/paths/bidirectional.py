@@ -1,0 +1,54 @@
+"""Bidirectional Dijkstra point-to-point distance queries."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from repro.graph.graph import Graph
+from repro.types import Cost, INFINITY, Vertex
+
+
+def bidirectional_distance(graph: Graph, source: Vertex, target: Vertex) -> Cost:
+    """Point-to-point distance via simultaneous forward/backward Dijkstra.
+
+    Standard alternating bidirectional search with the ``top_f + top_b >= mu``
+    stopping criterion.  Returns :data:`INFINITY` when unreachable.
+    """
+    if source == target:
+        return 0.0
+    dist_f: Dict[Vertex, Cost] = {source: 0.0}
+    dist_b: Dict[Vertex, Cost] = {target: 0.0}
+    heap_f: List[Tuple[Cost, Vertex]] = [(0.0, source)]
+    heap_b: List[Tuple[Cost, Vertex]] = [(0.0, target)]
+    settled_f, settled_b = set(), set()
+    best = INFINITY
+
+    def relax(forward: bool) -> None:
+        nonlocal best
+        heap, dist, settled = (heap_f, dist_f, settled_f) if forward else (heap_b, dist_b, settled_b)
+        other_dist = dist_b if forward else dist_f
+        neighbors = graph.neighbors_out if forward else graph.neighbors_in
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            if u in other_dist:
+                best = min(best, d + other_dist[u])
+            for v, w in neighbors(u):
+                nd = d + w
+                if nd < dist.get(v, INFINITY):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+                    if v in other_dist:
+                        best = min(best, nd + other_dist[v])
+            return
+
+    while heap_f and heap_b:
+        top_f = heap_f[0][0]
+        top_b = heap_b[0][0]
+        if top_f + top_b >= best:
+            break
+        relax(top_f <= top_b)
+    return best

@@ -1,0 +1,167 @@
+"""Dijkstra's algorithm and variants.
+
+These are the reference shortest-path engines: label construction
+verification, GSP's per-category relaxations, and the ``*-Dij`` method
+variants all build on this module.  All functions use lazy-deletion binary
+heaps (`heapq`) — the standard Python idiom, and the same asymptotics as the
+paper's Java implementation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.graph.graph import Graph
+from repro.types import Cost, INFINITY, Vertex
+
+
+def dijkstra(
+    graph: Graph,
+    source: Vertex,
+    reverse: bool = False,
+    cutoff: Cost = INFINITY,
+) -> Dict[Vertex, Cost]:
+    """Single-source shortest-path distances from ``source``.
+
+    With ``reverse=True`` edges are traversed backwards, giving distances
+    *to* ``source`` — used to compute ``dis(v, t)`` for all ``v`` at once.
+    Vertices farther than ``cutoff`` are not settled.
+    """
+    neighbors = graph.neighbors_in if reverse else graph.neighbors_out
+    dist: Dict[Vertex, Cost] = {source: 0.0}
+    heap: List[Tuple[Cost, Vertex]] = [(0.0, source)]
+    settled: Set[Vertex] = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        if d > cutoff:
+            break
+        settled.add(u)
+        for v, w in neighbors(u):
+            nd = d + w
+            if nd < dist.get(v, INFINITY):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return {v: d for v, d in dist.items() if v in settled}
+
+
+def dijkstra_distance(graph: Graph, source: Vertex, target: Vertex) -> Cost:
+    """Point-to-point distance with early termination at ``target``."""
+    if source == target:
+        return 0.0
+    dist: Dict[Vertex, Cost] = {source: 0.0}
+    heap: List[Tuple[Cost, Vertex]] = [(0.0, source)]
+    settled: Set[Vertex] = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        if u == target:
+            return d
+        settled.add(u)
+        for v, w in graph.neighbors_out(u):
+            nd = d + w
+            if nd < dist.get(v, INFINITY):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return INFINITY
+
+
+def dijkstra_path(
+    graph: Graph, source: Vertex, target: Vertex
+) -> Tuple[Cost, List[Vertex]]:
+    """Point-to-point distance plus one shortest path (vertex sequence).
+
+    Returns ``(INFINITY, [])`` when the target is unreachable.
+    """
+    if source == target:
+        return 0.0, [source]
+    dist: Dict[Vertex, Cost] = {source: 0.0}
+    parent: Dict[Vertex, Vertex] = {}
+    heap: List[Tuple[Cost, Vertex]] = [(0.0, source)]
+    settled: Set[Vertex] = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        if u == target:
+            path = [u]
+            while path[-1] != source:
+                path.append(parent[path[-1]])
+            path.reverse()
+            return d, path
+        settled.add(u)
+        for v, w in graph.neighbors_out(u):
+            nd = d + w
+            if nd < dist.get(v, INFINITY):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    return INFINITY, []
+
+
+def multi_source_dijkstra(
+    graph: Graph,
+    sources: Dict[Vertex, Cost],
+    reverse: bool = False,
+) -> Dict[Vertex, Cost]:
+    """Dijkstra from a set of sources with per-source initial offsets.
+
+    This implements the GSP transition in one sweep: seeding vertex ``v`` of
+    category ``C_{i-1}`` with offset ``X[i-1, v]`` makes the settled distance
+    of any ``u`` equal ``min_v (X[i-1, v] + dis(v, u))``.
+    """
+    neighbors = graph.neighbors_in if reverse else graph.neighbors_out
+    dist: Dict[Vertex, Cost] = {}
+    heap: List[Tuple[Cost, Vertex]] = []
+    for s, offset in sources.items():
+        if offset < dist.get(s, INFINITY):
+            dist[s] = offset
+            heapq.heappush(heap, (offset, s))
+    settled: Set[Vertex] = set()
+    result: Dict[Vertex, Cost] = {}
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        result[u] = d
+        for v, w in neighbors(u):
+            nd = d + w
+            if nd < dist.get(v, INFINITY):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return result
+
+
+def dijkstra_to_targets(
+    graph: Graph,
+    source: Vertex,
+    targets: Iterable[Vertex],
+) -> Dict[Vertex, Cost]:
+    """Distances from ``source`` to each target, stopping once all are settled."""
+    remaining = set(targets)
+    if not remaining:
+        return {}
+    dist: Dict[Vertex, Cost] = {source: 0.0}
+    heap: List[Tuple[Cost, Vertex]] = [(0.0, source)]
+    settled: Set[Vertex] = set()
+    found: Dict[Vertex, Cost] = {}
+    while heap and remaining:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        if u in remaining:
+            found[u] = d
+            remaining.discard(u)
+            if not remaining:
+                break
+        for v, w in graph.neighbors_out(u):
+            nd = d + w
+            if nd < dist.get(v, INFINITY):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return found

@@ -1,0 +1,52 @@
+"""Shared fixtures for the KOSR reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import KOSREngine
+from repro.graph.builders import random_graph
+from repro.graph.categories import assign_uniform_categories
+from repro.graph.paper import paper_figure1_graph
+
+
+@pytest.fixture(scope="session")
+def fig1_graph():
+    """The paper's Figure 1 graph (8 vertices, 14 edges, MA/RE/CI)."""
+    return paper_figure1_graph()
+
+
+@pytest.fixture(scope="session")
+def fig1_engine(fig1_graph):
+    """An engine with labels + inverted indexes over the Figure 1 graph."""
+    return KOSREngine.build(fig1_graph, name="fig1")
+
+
+@pytest.fixture(scope="session")
+def small_engine():
+    """A 40-vertex random strongly-connected graph with 3 categories."""
+    g = random_graph(40, avg_out_degree=3.0, rng=random.Random(7))
+    assign_uniform_categories(g, 3, 8, random.Random(8))
+    return KOSREngine.build(g, name="small")
+
+
+def make_categorized_graph(n: int, num_categories: int, category_size: int, seed: int):
+    """Helper used by several modules: connected digraph + uniform categories."""
+    g = random_graph(n, avg_out_degree=2.5, rng=random.Random(seed))
+    assign_uniform_categories(
+        g, num_categories, category_size, random.Random(seed + 1)
+    )
+    return g
+
+
+# Hypothesis profiles: default stays fast; REPRO_THOROUGH=1 widens the
+# property-test search (used for occasional deep runs, not CI).
+import os
+
+from hypothesis import settings as _hyp_settings
+
+_hyp_settings.register_profile("thorough", max_examples=200, deadline=None)
+if os.environ.get("REPRO_THOROUGH"):
+    _hyp_settings.load_profile("thorough")

@@ -1,0 +1,158 @@
+"""Tests for graph builders, dataset generators, and category assignment."""
+
+import random
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.graph import (
+    assign_uniform_categories,
+    assign_zipfian_categories,
+    complete_graph,
+    from_edge_list,
+    grid_graph,
+    path_graph,
+    random_graph,
+    zipfian_sizes,
+)
+from repro.graph import generators
+from repro.paths.dijkstra import dijkstra
+
+
+class TestBuilders:
+    def test_from_edge_list(self):
+        g = from_edge_list(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_path_graph_structure(self):
+        g = path_graph(4, weight=2.0)
+        assert g.num_edges == 6  # 3 undirected edges
+        assert g.edge_weight(1, 2) == 2.0
+
+    def test_complete_graph(self):
+        g = complete_graph(4)
+        assert g.num_edges == 12
+
+    def test_grid_graph_dimensions(self):
+        g = grid_graph(3, 4, rng=random.Random(0))
+        assert g.num_vertices == 12
+        # interior connectivity: vertex (1,1)=5 has 4 undirected neighbors
+        assert g.out_degree(5) == 4
+
+    def test_grid_graph_connected(self):
+        g = grid_graph(5, 5, rng=random.Random(1))
+        dist = dijkstra(g, 0)
+        assert len(dist) == 25
+
+    def test_random_graph_connectivity_guarantee(self):
+        g = random_graph(30, 2.0, rng=random.Random(3), ensure_connected=True)
+        dist = dijkstra(g, 0)
+        assert len(dist) == 30
+
+    def test_random_graph_degree_target(self):
+        g = random_graph(100, 4.0, rng=random.Random(4))
+        assert g.num_edges >= 400
+
+    def test_random_graph_deterministic(self):
+        a = random_graph(20, 3.0, rng=random.Random(9))
+        b = random_graph(20, 3.0, rng=random.Random(9))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestCategoryAssignment:
+    def test_uniform_sizes_exact(self):
+        g = grid_graph(10, 10, rng=random.Random(0))
+        cids = assign_uniform_categories(g, 5, 12, random.Random(1))
+        assert len(cids) == 5
+        for cid in cids:
+            assert g.category_size(cid) == 12
+
+    def test_uniform_size_too_large_rejected(self):
+        g = grid_graph(2, 2, rng=random.Random(0))
+        with pytest.raises(QueryError):
+            assign_uniform_categories(g, 1, 100)
+
+    def test_zipfian_sizes_monotone_decreasing(self):
+        sizes = zipfian_sizes(10, 1000, 1.2)
+        assert sizes == sorted(sizes, reverse=True)
+        assert all(s >= 1 for s in sizes)
+
+    def test_zipfian_less_skew_with_larger_factor(self):
+        skewed = zipfian_sizes(10, 1000, 1.2)
+        flat = zipfian_sizes(10, 1000, 1.8)
+        assert skewed[0] / skewed[-1] > flat[0] / flat[-1]
+
+    def test_zipfian_factor_below_one_rejected(self):
+        with pytest.raises(QueryError):
+            zipfian_sizes(5, 100, 0.5)
+
+    def test_zipfian_assignment(self):
+        g = grid_graph(12, 12, rng=random.Random(0))
+        cids = assign_zipfian_categories(g, 6, 1.4, rng=random.Random(2))
+        sizes = [g.category_size(c) for c in cids]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestDatasetGenerators:
+    @pytest.mark.parametrize("name", generators.DATASET_NAMES)
+    def test_analogue_has_categories(self, name):
+        g = generators.dataset_by_name(name, scale=0.1)
+        assert g.num_vertices > 0
+        assert g.num_categories > 0
+        assert any(g.category_size(c) >= 2 for c in range(g.num_categories))
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            generators.dataset_by_name("MOON")
+
+    def test_gplus_unit_weights(self):
+        g = generators.gplus(scale=0.1)
+        assert all(w == 1.0 for _, _, w in g.edges())
+
+    def test_gplus_small_diameter(self):
+        g = generators.gplus(scale=0.2)
+        dist = dijkstra(g, 0)
+        assert len(dist) == g.num_vertices
+        assert max(dist.values()) <= 8
+
+    def test_cal_undirected_symmetry(self):
+        g = generators.cal(scale=0.1)
+        for u, v, w in g.edges():
+            assert g.has_edge(v, u)
+            assert g.edge_weight(v, u) == w
+
+    def test_fla_directed_strongly_connected(self):
+        g = generators.fla(scale=0.1)
+        assert len(dijkstra(g, 0)) == g.num_vertices
+        assert len(dijkstra(g, 0, reverse=True)) == g.num_vertices
+
+    def test_fla_zipf_variant(self):
+        g = generators.fla(scale=0.1, zipf_factor=1.2)
+        sizes = [g.category_size(c) for c in range(g.num_categories)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_fla_topology_independent_of_categories(self):
+        a = generators.fla(scale=0.1, category_fraction=0.01)
+        b = generators.fla(scale=0.1, category_fraction=0.05)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_generators_deterministic(self):
+        a = generators.col(scale=0.1)
+        b = generators.col(scale=0.1)
+        assert sorted(a.edges()) == sorted(b.edges())
+        assert [a.members(c) for c in range(a.num_categories)] == [
+            b.members(c) for c in range(b.num_categories)
+        ]
+
+    def test_road_network_directed_asymmetric_weights(self):
+        g = generators.road_network(5, 5, seed=3, directed=True, travel_time=True)
+        asymmetric = [
+            (u, v) for u, v, w in g.edges()
+            if g.has_edge(v, u) and g.edge_weight(v, u) != w
+        ]
+        assert asymmetric, "directed travel times should differ per direction"
+
+    def test_social_network_tiny_n_is_clique(self):
+        g = generators.social_network(5, attach=8)
+        assert g.num_edges == 20

@@ -1,0 +1,98 @@
+"""Tests for the contraction-hierarchies substrate."""
+
+import random
+
+import pytest
+
+from repro.ch import build_ch, ch_distance, ch_path
+from repro.graph import from_edge_list, grid_graph, random_graph
+from repro.paths.dijkstra import dijkstra_distance
+from repro.types import INFINITY
+
+
+@pytest.fixture(scope="module")
+def road():
+    return grid_graph(7, 7, rng=random.Random(3))
+
+
+@pytest.fixture(scope="module")
+def road_ch(road):
+    return build_ch(road)
+
+
+class TestConstruction:
+    def test_ranks_are_permutation(self, road, road_ch):
+        assert sorted(road_ch.rank) == list(range(road.num_vertices))
+
+    def test_upward_edges_point_up(self, road_ch):
+        for v, targets in enumerate(road_ch.up_out):
+            for u in targets:
+                assert road_ch.rank[u] > road_ch.rank[v]
+        for v, sources in enumerate(road_ch.up_in):
+            for u in sources:
+                assert road_ch.rank[u] > road_ch.rank[v]
+
+    def test_shortcut_count_recorded(self, road_ch):
+        assert road_ch.num_shortcuts >= 0
+        assert len(road_ch.middle) <= road_ch.num_shortcuts
+
+
+class TestQueries:
+    def test_distances_match_dijkstra_grid(self, road, road_ch):
+        rng = random.Random(17)
+        for _ in range(30):
+            s = rng.randrange(road.num_vertices)
+            t = rng.randrange(road.num_vertices)
+            assert ch_distance(road_ch, s, t) == pytest.approx(
+                dijkstra_distance(road, s, t)
+            )
+
+    def test_distances_match_dijkstra_random_digraphs(self):
+        for seed in range(4):
+            g = random_graph(35, 2.5, rng=random.Random(seed))
+            ch = build_ch(g)
+            rng = random.Random(seed + 99)
+            for _ in range(15):
+                s, t = rng.randrange(35), rng.randrange(35)
+                assert ch_distance(ch, s, t) == pytest.approx(
+                    dijkstra_distance(g, s, t)
+                )
+
+    def test_unreachable(self):
+        g = from_edge_list(3, [(0, 1, 1.0)])
+        ch = build_ch(g)
+        assert ch_distance(ch, 1, 0) == INFINITY
+        assert ch_distance(ch, 0, 2) == INFINITY
+
+    def test_same_vertex(self, road_ch):
+        assert ch_distance(road_ch, 5, 5) == 0.0
+
+    def test_path_unpacking_valid(self, road, road_ch):
+        rng = random.Random(23)
+        for _ in range(20):
+            s = rng.randrange(road.num_vertices)
+            t = rng.randrange(road.num_vertices)
+            cost, path = ch_path(road_ch, s, t)
+            ref = dijkstra_distance(road, s, t)
+            assert cost == pytest.approx(ref)
+            if path:
+                assert path[0] == s and path[-1] == t
+                total = sum(
+                    road.edge_weight(a, b) for a, b in zip(path, path[1:])
+                )
+                assert total == pytest.approx(cost)
+
+    def test_path_unreachable(self):
+        g = from_edge_list(2, [(0, 1, 2.0)])
+        ch = build_ch(g)
+        assert ch_path(ch, 1, 0) == (INFINITY, [])
+
+    def test_path_direct_edge(self):
+        g = from_edge_list(2, [(0, 1, 2.0)])
+        ch = build_ch(g)
+        assert ch_path(ch, 0, 1) == (2.0, [0, 1])
+
+    def test_with_self_loops(self):
+        g = from_edge_list(3, [(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0)])
+        ch = build_ch(g)
+        assert ch_distance(ch, 0, 2) == pytest.approx(2.0)

@@ -1,0 +1,56 @@
+"""Tests for the ASCII chart renderers."""
+
+import math
+
+from repro.experiments.charts import bar_chart, level_series
+
+
+class TestBarChart:
+    ROWS = [
+        {"dataset": "CAL", "method": "SK", "time_ms": 5.0},
+        {"dataset": "CAL", "method": "PK", "time_ms": 50.0},
+        {"dataset": "CAL", "method": "KPNE", "time_ms": math.inf},
+    ]
+
+    def test_renders_all_rows(self):
+        text = bar_chart(self.ROWS, ["dataset", "method"], "time_ms",
+                         title="t")
+        assert "CAL SK" in text and "CAL PK" in text
+        assert "INF" in text
+
+    def test_log_scale_footer(self):
+        text = bar_chart(self.ROWS, ["method"], "time_ms")
+        assert "log scale" in text
+
+    def test_larger_value_longer_bar(self):
+        text = bar_chart(self.ROWS[:2], ["method"], "time_ms", log=False)
+        sk_line = next(l for l in text.splitlines() if l.startswith("SK"))
+        pk_line = next(l for l in text.splitlines() if l.startswith("PK"))
+        assert pk_line.count("#") > sk_line.count("#")
+
+    def test_single_row(self):
+        text = bar_chart([{"m": "SK", "v": 3.0}], ["m"], "v")
+        assert "3.00" in text
+
+    def test_empty_rows(self):
+        assert bar_chart([], ["m"], "v") == ""
+
+
+class TestLevelSeries:
+    def test_sparkline_and_peak(self):
+        rows = [{"dataset": "FLA", "level_0": 1.0, "level_1": 100.0,
+                 "level_2": 10.0}]
+        text = level_series(rows, title="fig5")
+        assert "FLA" in text
+        assert "peak 100.0 at level 1" in text
+
+    def test_rows_without_levels_skipped(self):
+        assert level_series([{"dataset": "X"}]) == ""
+
+    def test_multiple_groups(self):
+        rows = [
+            {"dataset": "CAL", "level_0": 1.0, "level_1": 5.0},
+            {"dataset": "G+", "level_0": 2.0, "level_1": 1.0},
+        ]
+        text = level_series(rows)
+        assert "CAL" in text and "G+" in text

@@ -1,0 +1,165 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.io import save_json
+from repro.graph.paper import paper_figure1_graph, vertex
+
+
+@pytest.fixture
+def fig1_file(tmp_path):
+    path = tmp_path / "fig1.json"
+    save_json(paper_figure1_graph(), path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_method(self, fig1_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "query", "--graph", fig1_file, "--source", "0",
+                "--target", "1", "--categories", "MA", "--method", "NOPE",
+            ])
+
+
+class TestGenerateInfo:
+    def test_generate_then_info(self, tmp_path, capsys):
+        out = tmp_path / "g.json"
+        assert main(["generate", "--dataset", "CAL", "--scale", "0.05",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+        assert main(["info", "--graph", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "vertices" in text and "categories" in text
+
+    def test_info_on_fig1(self, fig1_file, capsys):
+        assert main(["info", "--graph", fig1_file]) == 0
+        out = capsys.readouterr().out
+        assert "8" in out  # 8 vertices
+
+
+class TestQuery:
+    def test_fig1_query_matches_paper(self, fig1_file, capsys):
+        code = main([
+            "query", "--graph", fig1_file,
+            "--source", str(vertex("s")), "--target", str(vertex("t")),
+            "--categories", "MA,RE,CI", "--k", "3", "--method", "SK",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cost 20" in out and "cost 21" in out and "cost 22" in out
+
+    def test_routes_flag(self, fig1_file, capsys):
+        main([
+            "query", "--graph", fig1_file,
+            "--source", str(vertex("s")), "--target", str(vertex("t")),
+            "--categories", "MA,RE,CI", "--k", "1", "--routes",
+        ])
+        assert "route" in capsys.readouterr().out
+
+    def test_budget_inf_exit_code(self, fig1_file, capsys):
+        code = main([
+            "query", "--graph", fig1_file,
+            "--source", str(vertex("s")), "--target", str(vertex("t")),
+            "--categories", "MA,RE,CI", "--k", "3", "--method", "KPNE",
+            "--budget", "1",
+        ])
+        assert code == 2
+        assert "INF" in capsys.readouterr().out
+
+    def test_numeric_category_ids(self, fig1_file, capsys):
+        code = main([
+            "query", "--graph", fig1_file,
+            "--source", str(vertex("s")), "--target", str(vertex("t")),
+            "--categories", "0,1,2", "--k", "1",
+        ])
+        assert code == 0
+        assert "cost 20" in capsys.readouterr().out
+
+    def test_dij_backend(self, fig1_file, capsys):
+        code = main([
+            "query", "--graph", fig1_file,
+            "--source", str(vertex("s")), "--target", str(vertex("t")),
+            "--categories", "MA,RE,CI", "--k", "1",
+            "--method", "PK", "--nn-backend", "dij-restart",
+        ])
+        assert code == 0
+        assert "cost 20" in capsys.readouterr().out
+
+
+class TestPreprocessAndIndexedQuery:
+    def test_preprocess_writes_artifacts(self, fig1_file, tmp_path, capsys):
+        index_dir = tmp_path / "index"
+        assert main(["preprocess", "--graph", fig1_file,
+                     "--out", str(index_dir)]) == 0
+        assert (index_dir / "labels.bin").exists()
+        assert (index_dir / "shards" / "vertices.pkl").exists()
+
+    def test_query_with_prebuilt_index(self, fig1_file, tmp_path, capsys):
+        index_dir = tmp_path / "index"
+        main(["preprocess", "--graph", fig1_file, "--out", str(index_dir)])
+        capsys.readouterr()
+        code = main([
+            "query", "--graph", fig1_file, "--index", str(index_dir),
+            "--source", str(vertex("s")), "--target", str(vertex("t")),
+            "--categories", "MA,RE,CI", "--k", "3",
+        ])
+        assert code == 0
+        assert "cost 20" in capsys.readouterr().out
+
+    def test_sk_db_from_index_dir(self, fig1_file, tmp_path, capsys):
+        index_dir = tmp_path / "index"
+        main(["preprocess", "--graph", fig1_file, "--out", str(index_dir)])
+        capsys.readouterr()
+        code = main([
+            "query", "--graph", fig1_file, "--index", str(index_dir),
+            "--source", str(vertex("s")), "--target", str(vertex("t")),
+            "--categories", "MA,RE,CI", "--k", "2", "--method", "SK-DB",
+        ])
+        assert code == 0
+        assert "cost 20" in capsys.readouterr().out
+
+    def test_sk_db_without_index_rejected(self, fig1_file):
+        with pytest.raises(SystemExit):
+            main([
+                "query", "--graph", fig1_file,
+                "--source", "0", "--target", "1",
+                "--categories", "MA", "--method", "SK-DB",
+            ])
+
+
+class TestFigureCommand:
+    def test_small_figure(self, capsys, monkeypatch):
+        from repro.experiments import datasets as ds
+
+        monkeypatch.setattr(ds, "BENCH_SCALE", 0.05)
+        monkeypatch.setattr(ds, "BENCH_QUERIES", 1)
+        ds.clear_caches()
+        try:
+            assert main(["figure", "--name", "table10"]) == 0
+            out = capsys.readouterr().out
+            assert "nn_query_ms" in out
+        finally:
+            ds.clear_caches()
+
+
+class TestChartFlag:
+    def test_figure_with_chart(self, capsys, monkeypatch):
+        from repro.experiments import datasets as ds
+
+        monkeypatch.setattr(ds, "BENCH_SCALE", 0.05)
+        monkeypatch.setattr(ds, "BENCH_QUERIES", 1)
+        ds.clear_caches()
+        try:
+            assert main(["figure", "--name", "fig5", "--chart"]) == 0
+            out = capsys.readouterr().out
+            assert "peak" in out  # sparkline footer
+        finally:
+            ds.clear_caches()

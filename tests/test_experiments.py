@@ -1,0 +1,193 @@
+"""Tests for the evaluation harness (workloads, runner, figures, reporting)."""
+
+import math
+import random
+
+import pytest
+
+from repro import KOSREngine
+from repro.experiments import datasets as ds
+from repro.experiments import figures
+from repro.experiments.reporting import format_cell, format_table
+from repro.experiments.runner import (
+    INF,
+    METHOD_LEGEND,
+    MethodAggregate,
+    run_workload,
+)
+from repro.experiments.workload import random_queries
+from repro.graph import random_graph
+from repro.graph.categories import assign_uniform_categories
+
+
+@pytest.fixture(scope="module", autouse=True)
+def tiny_scale():
+    """Pin the harness to a tiny scale so tests stay fast."""
+    old_scale, old_q = ds.BENCH_SCALE, ds.BENCH_QUERIES
+    ds.BENCH_SCALE, ds.BENCH_QUERIES = 0.05, 2
+    ds.clear_caches()
+    yield
+    ds.BENCH_SCALE, ds.BENCH_QUERIES = old_scale, old_q
+    ds.clear_caches()
+
+
+@pytest.fixture(scope="module")
+def small_case():
+    g = random_graph(25, 3.0, rng=random.Random(5))
+    assign_uniform_categories(g, 4, 6, random.Random(6))
+    return g, KOSREngine.build(g)
+
+
+class TestWorkload:
+    def test_deterministic_given_seed(self, small_case):
+        g, _ = small_case
+        a = random_queries(g, 5, 2, 3, seed=9)
+        b = random_queries(g, 5, 2, 3, seed=9)
+        assert a.queries == b.queries
+
+    def test_respects_parameters(self, small_case):
+        g, _ = small_case
+        w = random_queries(g, 7, 3, 4, seed=1)
+        assert len(w) == 7
+        for q in w:
+            assert len(q.categories) == 3
+            assert q.k == 4
+
+    def test_sampling_without_replacement_when_possible(self, small_case):
+        g, _ = small_case
+        w = random_queries(g, 5, 4, 1, seed=2)
+        for q in w:
+            assert len(set(q.categories)) == 4
+
+    def test_with_replacement_when_needed(self, small_case):
+        g, _ = small_case
+        w = random_queries(g, 3, 10, 1, seed=3)
+        assert all(len(q.categories) == 10 for q in w)
+
+    def test_no_eligible_categories_raises(self):
+        g = random_graph(10, 2.0, rng=random.Random(0))
+        with pytest.raises(ValueError):
+            random_queries(g, 1, 1, 1)
+
+
+class TestRunner:
+    def test_aggregate_means(self, small_case):
+        g, engine = small_case
+        w = random_queries(g, 3, 2, 2, seed=4)
+        agg = run_workload(engine, w, "SK")
+        assert agg.num_queries == 3
+        assert agg.unfinished == 0
+        assert agg.mean_time_ms > 0
+        assert agg.mean_examined > 0
+        assert agg.mean_nn_queries > 0
+
+    def test_inf_on_unfinished(self, small_case):
+        g, engine = small_case
+        w = random_queries(g, 2, 3, 5, seed=5)
+        agg = run_workload(engine, w, "KPNE", budget=2)
+        assert agg.unfinished == 1  # short-circuits after the first INF
+        assert math.isinf(agg.mean_time_ms)
+
+    def test_no_short_circuit_when_disabled(self, small_case):
+        g, engine = small_case
+        w = random_queries(g, 2, 3, 5, seed=5)
+        agg = run_workload(engine, w, "KPNE", budget=2,
+                           stop_after_first_unfinished=False)
+        assert agg.unfinished == 2
+        assert agg.num_queries == 2
+
+    def test_legend_covers_paper_methods(self):
+        assert set(METHOD_LEGEND) == {
+            "KPNE-Dij", "PK-Dij", "SK-Dij", "KPNE", "PK", "SK", "SK-DB",
+        }
+
+    def test_gsp_label(self, small_case):
+        g, engine = small_case
+        w = random_queries(g, 2, 2, 1, seed=6)
+        agg = run_workload(engine, w, "GSP")
+        assert agg.num_queries == 2
+
+    def test_empty_aggregate_is_inf(self):
+        agg = MethodAggregate(label="x")
+        assert math.isinf(agg.mean_time_ms)
+
+
+class TestFigureGenerators:
+    def test_fig3_overall_rows(self):
+        rows, cols = figures.fig3_overall(datasets=("CAL",), methods=("PK", "SK"))
+        assert {r["method"] for r in rows} == {"PK", "SK"}
+        assert all(r["dataset"] == "CAL" for r in rows)
+        assert set(cols) >= {"dataset", "method", "time_ms"}
+
+    def test_fig3_effect_k_rows(self):
+        rows, _ = figures.fig3_effect_k("CAL", ks=(1, 2), methods=("SK",))
+        assert [r["k"] for r in rows] == [1, 2]
+
+    def test_fig3_effect_c_rows(self):
+        rows, _ = figures.fig3_effect_c("CAL", c_lens=(2, 3), methods=("SK",))
+        assert [r["c_len"] for r in rows] == [2, 3]
+
+    def test_fig3_effect_ci_rows(self):
+        rows, _ = figures.fig3_effect_ci(fractions=(0.02, 0.04), methods=("SK",))
+        sizes = [r["category_size"] for r in rows]
+        assert sizes == sorted(sizes)
+
+    def test_fig5_rows_have_levels(self):
+        rows, cols = figures.fig5_search_space(datasets=("CAL",))
+        assert rows[0]["dataset"] == "CAL"
+        assert any(c.startswith("level_") for c in cols)
+
+    def test_fig6_zipf_rows(self):
+        rows, _ = figures.fig6_zipfian(factors=(1.2,), methods=("SK",))
+        assert rows[0]["zipf_factor"] == 1.2
+
+    def test_fig7_includes_gsp(self):
+        rows, _ = figures.fig7_osr(datasets=("CAL",), methods=("SK", "GSP"))
+        assert {r["method"] for r in rows} == {"SK", "GSP"}
+
+    def test_table9_rows(self):
+        rows, cols = figures.table9_preprocessing(datasets=("CAL",))
+        assert rows[0]["graph"] == "CAL"
+        assert rows[0]["label_build_s"] > 0
+
+    def test_table10_breakdown_rows(self):
+        rows, cols = figures.table10_breakdown(methods=("SK",))
+        row = rows[0]
+        assert row["overall_ms"] >= row["nn_query_ms"]
+
+    def test_ablation_rows(self):
+        rows, _ = figures.ablation_design_choices()
+        variants = [r["variant"] for r in rows]
+        assert "both (SK)" in variants and "neither (KPNE)" in variants
+
+
+class TestDatasetsCache:
+    def test_engine_cached(self):
+        a = ds.engine_for("CAL")
+        b = ds.engine_for("CAL")
+        assert a is b
+
+    def test_fla_custom_reuses_labels(self):
+        base = ds.engine_for("FLA")
+        custom = ds.fla_engine_with_categories(category_fraction=0.05)
+        assert custom.labels is base.labels
+        assert custom is not base
+
+    def test_clear_caches(self):
+        a = ds.engine_for("CAL")
+        ds.clear_caches()
+        assert ds.engine_for("CAL") is not a
+
+
+class TestReporting:
+    def test_format_cell_inf(self):
+        assert format_cell(INF) == "INF"
+
+    def test_format_cell_thousands(self):
+        assert format_cell(12345.6) == "12,346"
+
+    def test_format_table_renders(self):
+        rows = [{"a": 1, "b": INF}, {"a": 2, "b": 0.5}]
+        text = format_table(rows, ["a", "b"], title="T")
+        assert "T" in text and "INF" in text
+        assert len(text.splitlines()) == 5

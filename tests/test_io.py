@@ -1,0 +1,113 @@
+"""Tests for graph file IO (DIMACS, edge lists, JSON)."""
+
+import random
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    graph_from_dict,
+    graph_to_dict,
+    load_json,
+    random_graph,
+    read_dimacs,
+    read_edge_list,
+    save_json,
+    write_dimacs,
+    write_edge_list,
+)
+from repro.graph.categories import assign_uniform_categories
+
+
+@pytest.fixture
+def sample_graph():
+    g = random_graph(15, 2.0, rng=random.Random(0))
+    assign_uniform_categories(g, 2, 4, random.Random(1))
+    return g
+
+
+class TestDimacs:
+    def test_round_trip(self, sample_graph, tmp_path):
+        path = tmp_path / "g.gr"
+        write_dimacs(sample_graph, path, comment="test graph")
+        loaded = read_dimacs(path)
+        assert loaded.num_vertices == sample_graph.num_vertices
+        assert sorted(loaded.edges()) == sorted(sample_graph.edges())
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("c a comment\np sp 2 1\nc another\na 1 2 3.5\n")
+        g = read_dimacs(path)
+        assert g.num_edges == 1
+        assert g.edge_weight(0, 1) == 3.5
+
+    def test_missing_problem_line(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("a 1 2 3\n")
+        with pytest.raises(GraphError):
+            read_dimacs(path)
+
+    def test_malformed_arc(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("p sp 2 1\na 1 2\n")
+        with pytest.raises(GraphError):
+            read_dimacs(path)
+
+    def test_unknown_record(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("p sp 1 0\nz 1\n")
+        with pytest.raises(GraphError):
+            read_dimacs(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.gr"
+        path.write_text("")
+        with pytest.raises(GraphError):
+            read_dimacs(path)
+
+
+class TestEdgeList:
+    def test_round_trip(self, sample_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(sample_graph, path)
+        loaded = read_edge_list(path)
+        assert sorted(loaded.edges()) == sorted(sample_graph.edges())
+
+    def test_default_weight_one(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.edge_weight(0, 1) == 1.0
+
+    def test_undirected_flag(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2.0\n")
+        g = read_edge_list(path, undirected=True)
+        assert g.has_edge(1, 0)
+
+    def test_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1 1.0\n")
+        assert read_edge_list(path).num_edges == 1
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("7\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+
+class TestJson:
+    def test_dict_round_trip_preserves_categories(self, sample_graph):
+        data = graph_to_dict(sample_graph)
+        loaded = graph_from_dict(data)
+        assert sorted(loaded.edges()) == sorted(sample_graph.edges())
+        assert loaded.category_names() == sample_graph.category_names()
+        for cid in range(sample_graph.num_categories):
+            assert loaded.members(cid) == sample_graph.members(cid)
+
+    def test_file_round_trip(self, sample_graph, tmp_path):
+        path = tmp_path / "g.json"
+        save_json(sample_graph, path)
+        loaded = load_json(path)
+        assert sorted(loaded.edges()) == sorted(sample_graph.edges())

@@ -1,0 +1,68 @@
+"""Tests for workload freezing and CSV result export."""
+
+import math
+import random
+
+import pytest
+
+from repro.experiments.persistence import (
+    load_workload,
+    read_rows_csv,
+    save_workload,
+    write_rows_csv,
+)
+from repro.experiments.workload import random_queries
+from repro.graph import random_graph
+from repro.graph.categories import assign_uniform_categories
+
+
+@pytest.fixture
+def workload():
+    g = random_graph(25, 2.5, rng=random.Random(3))
+    assign_uniform_categories(g, 3, 6, random.Random(4))
+    return random_queries(g, 5, 2, 3, seed=9)
+
+
+class TestWorkloadPersistence:
+    def test_round_trip(self, workload, tmp_path):
+        path = tmp_path / "w.json"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        assert loaded.queries == workload.queries
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "w.json"
+        path.write_text('{"version": 99, "queries": []}')
+        with pytest.raises(ValueError):
+            load_workload(path)
+
+    def test_empty_workload(self, tmp_path):
+        from repro.experiments.workload import Workload
+
+        path = tmp_path / "w.json"
+        save_workload(Workload([]), path)
+        assert load_workload(path).queries == []
+
+
+class TestCsvExport:
+    ROWS = [
+        {"dataset": "CAL", "method": "SK", "time_ms": 5.25},
+        {"dataset": "FLA", "method": "KPNE", "time_ms": math.inf},
+    ]
+
+    def test_round_trip_with_inf(self, tmp_path):
+        path = tmp_path / "r.csv"
+        write_rows_csv(self.ROWS, ["dataset", "method", "time_ms"], path)
+        rows = read_rows_csv(path)
+        assert rows[0]["time_ms"] == "5.25"
+        assert rows[1]["time_ms"] == "INF"
+
+    def test_extra_keys_ignored(self, tmp_path):
+        path = tmp_path / "r.csv"
+        write_rows_csv([{"a": 1, "b": 2}], ["a"], path)
+        assert read_rows_csv(path) == [{"a": "1"}]
+
+    def test_missing_keys_blank(self, tmp_path):
+        path = tmp_path / "r.csv"
+        write_rows_csv([{"a": 1}], ["a", "b"], path)
+        assert read_rows_csv(path)[0]["b"] == ""

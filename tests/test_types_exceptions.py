@@ -1,0 +1,101 @@
+"""Tests for the shared value types and the exception hierarchy."""
+
+import math
+
+import pytest
+
+from repro import (
+    BudgetExceededError,
+    EmptyCategoryError,
+    GraphError,
+    INFINITY,
+    IndexBuildError,
+    IndexStorageError,
+    NegativeWeightError,
+    QueryError,
+    ReproError,
+    Route,
+    SequencedResult,
+    UnknownCategoryError,
+    UnknownVertexError,
+    Witness,
+)
+from repro.types import is_strictly_sorted
+
+
+class TestWitness:
+    def test_basic_properties(self):
+        w = Witness((0, 3, 7), 12.5)
+        assert w.last == 7
+        assert w.size == 3
+        assert w.cost == 12.5
+
+    def test_extend_appends(self):
+        w = Witness((0,), 0.0)
+        w2 = w.extend(4, 2.5)
+        assert w2.vertices == (0, 4)
+        assert w2.cost == 2.5
+        assert w.vertices == (0,), "original is immutable"
+
+    def test_replace_last(self):
+        w = Witness((0, 3, 7), 12.0)
+        sibling = w.replace_last(9, prefix_cost=5.0, leg_cost=4.0)
+        assert sibling.vertices == (0, 3, 9)
+        assert sibling.cost == 9.0
+
+    def test_replace_last_on_source_rejected(self):
+        with pytest.raises(ValueError):
+            Witness((0,), 0.0).replace_last(1, 0.0, 1.0)
+
+    def test_hashable_and_equal(self):
+        assert Witness((1, 2), 3.0) == Witness((1, 2), 3.0)
+        assert hash(Witness((1, 2), 3.0)) == hash(Witness((1, 2), 3.0))
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Witness((1,), 0.0).cost = 9
+
+
+class TestRouteAndResult:
+    def test_route_size(self):
+        r = Route((0, 1, 2), 5.0)
+        assert r.size == 3
+        assert r.witness is None
+
+    def test_sequenced_result_cost_proxies_witness(self):
+        w = Witness((0, 1), 2.0)
+        assert SequencedResult(w).cost == 2.0
+
+    def test_is_strictly_sorted(self):
+        assert is_strictly_sorted([1.0, 1.0, 2.0])
+        assert not is_strictly_sorted([2.0, 1.0])
+        assert is_strictly_sorted([])
+        assert is_strictly_sorted([INFINITY])
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        for exc in (GraphError, QueryError, IndexBuildError,
+                    IndexStorageError, BudgetExceededError):
+            assert issubclass(exc, ReproError)
+        assert issubclass(UnknownVertexError, GraphError)
+        assert issubclass(UnknownCategoryError, GraphError)
+        assert issubclass(NegativeWeightError, GraphError)
+        assert issubclass(EmptyCategoryError, QueryError)
+
+    def test_unknown_vertex_payload(self):
+        e = UnknownVertexError(9, 5)
+        assert e.vertex == 9 and e.n == 5
+        assert "9" in str(e)
+
+    def test_negative_weight_payload(self):
+        e = NegativeWeightError(1, 2, -3.0)
+        assert e.edge == (1, 2) and e.weight == -3.0
+
+    def test_budget_payload(self):
+        e = BudgetExceededError(100)
+        assert e.budget == 100
+        assert "100" in str(e)
+
+    def test_infinity_is_math_inf(self):
+        assert INFINITY == math.inf

@@ -1,0 +1,88 @@
+"""Tests for graph diagnostics (connectivity, coverage, metric checks)."""
+
+import random
+
+import pytest
+
+from repro.graph import Graph, from_edge_list, grid_graph, random_graph
+from repro.graph.generators import fla
+from repro.graph.validation import (
+    GraphReport,
+    is_metric,
+    is_strongly_connected,
+    triangle_violations,
+    validate_graph,
+)
+
+
+class TestConnectivity:
+    def test_strongly_connected_cycle(self):
+        g = from_edge_list(3, [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
+        assert is_strongly_connected(g)
+
+    def test_one_way_chain_not_strongly_connected(self):
+        g = from_edge_list(3, [(0, 1, 1), (1, 2, 1)])
+        assert not is_strongly_connected(g)
+
+    def test_trivial_graphs(self):
+        assert is_strongly_connected(Graph(0))
+        assert is_strongly_connected(Graph(1))
+
+    def test_random_connected_builder_is_connected(self):
+        g = random_graph(40, 2.0, rng=random.Random(1), ensure_connected=True)
+        assert is_strongly_connected(g)
+
+
+class TestReport:
+    def test_counts(self):
+        g = from_edge_list(4, [(0, 1, 2.0), (1, 0, 5.0)])
+        cid = g.add_category("A")
+        g.assign_category(0, cid)
+        g.add_category("empty")
+        report = validate_graph(g)
+        assert report.num_vertices == 4
+        assert report.num_edges == 2
+        assert report.num_isolated == 2
+        assert report.min_weight == 2.0 and report.max_weight == 5.0
+        assert report.category_sizes == {"A": 1, "empty": 0}
+        assert report.uncategorized_vertices == 3
+
+    def test_issues_listed(self):
+        g = from_edge_list(3, [(0, 1, 1)])
+        g.add_category("empty")
+        issues = validate_graph(g).issues
+        assert any("isolated" in i for i in issues)
+        assert any("strongly connected" in i for i in issues)
+        assert any("empty categories" in i for i in issues)
+
+    def test_clean_graph_has_no_issues(self):
+        g = grid_graph(4, 4, rng=random.Random(2))
+        cid = g.add_category("A")
+        g.assign_category(0, cid)
+        assert validate_graph(g).issues == []
+
+
+class TestTriangleInequality:
+    def test_violation_detected(self):
+        # direct 0->2 costs 10, detour via 1 costs 2.
+        g = from_edge_list(3, [(0, 2, 10.0), (0, 1, 1.0), (1, 2, 1.0)])
+        violations = triangle_violations(g)
+        assert violations and violations[0][:3] == (0, 1, 2)
+        assert violations[0][3] == pytest.approx(8.0)
+        assert not is_metric(g)
+
+    def test_metric_graph_clean(self):
+        g = from_edge_list(3, [(0, 2, 1.5), (0, 1, 1.0), (1, 2, 1.0)])
+        assert is_metric(g)
+
+    def test_travel_time_analogue_is_general(self):
+        """The FLA analogue must be a *general* graph (Sec. I setting)."""
+        g = fla(scale=0.15)
+        assert not is_metric(g), (
+            "travel-time road analogues should violate the triangle "
+            "inequality somewhere — that is the paper's premise"
+        )
+
+    def test_sampling_caps_work(self):
+        g = from_edge_list(3, [(0, 2, 10.0), (0, 1, 1.0), (1, 2, 1.0)])
+        assert triangle_violations(g, sample_vertices=0) == []
