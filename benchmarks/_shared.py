@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import functools
+import json
+import math
 from pathlib import Path
 
 from repro.experiments import datasets as ds
@@ -13,11 +15,42 @@ from repro.experiments.workload import random_queries
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def _json_safe(value):
+    """Recursively replace non-JSON floats (inf/nan) with strings."""
+    if isinstance(value, float):
+        if math.isinf(value) or math.isnan(value):
+            return str(value)
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+def emit_json(name: str, payload) -> Path:
+    """Persist a machine-readable result as ``benchmarks/results/<name>.json``.
+
+    ``payload`` is any JSON-serialisable structure (rows, metrics dicts);
+    infinities (the INF convention) are stringified.  This is the feed for
+    the perf-trajectory tooling, next to the human-readable ``.txt`` tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(_json_safe(payload), indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def emit(name: str, rows, cols, title: str) -> None:
-    """Print a figure's table and persist it under ``benchmarks/results/``."""
+    """Print a figure's table and persist it under ``benchmarks/results/``.
+
+    Writes both the fixed-width ``.txt`` table and a ``.json`` twin
+    (``{"title": ..., "columns": ..., "rows": ...}``) for tooling.
+    """
     text = format_table(rows, cols, title)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    emit_json(name, {"title": title, "columns": list(cols), "rows": rows})
     print("\n" + text)
 
 

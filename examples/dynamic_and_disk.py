@@ -21,7 +21,9 @@ from repro.labeling.updates import add_vertex_to_category, remove_vertex_from_ca
 
 def main() -> None:
     graph = generators.col(scale=0.15)
-    engine = KOSREngine.build(graph, name="col")
+    # Incremental category updates patch the object-backend inverted index
+    # in place; the default packed backend is immutable-by-construction.
+    engine = KOSREngine.build(graph, name="col", backend="object")
     rng = random.Random(3)
     s, t = rng.randrange(graph.num_vertices), rng.randrange(graph.num_vertices)
     cats = [0, 1, 2]

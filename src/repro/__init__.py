@@ -35,6 +35,7 @@ from repro.exceptions import (
 )
 from repro.graph import Graph
 from repro.core import (
+    BACKENDS,
     KOSREngine,
     KOSRResult,
     KOSRQuery,
@@ -77,6 +78,7 @@ __all__ = [
     "KOSREngine",
     "KOSRResult",
     "KOSRQuery",
+    "BACKENDS",
     "METHODS",
     "NN_BACKENDS",
     "PreprocessingStats",

@@ -24,7 +24,7 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-from repro.core.engine import KOSREngine, METHODS, NN_BACKENDS
+from repro.core.engine import BACKENDS, KOSREngine, METHODS, NN_BACKENDS
 from repro.experiments import figures as figure_defs
 from repro.experiments.reporting import format_table
 from repro.graph import generators
@@ -78,10 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
     qry.add_argument("--k", type=int, default=1)
     qry.add_argument("--method", default="SK", choices=list(METHODS))
     qry.add_argument("--nn-backend", default="label", choices=list(NN_BACKENDS))
+    qry.add_argument("--backend", default="packed", choices=list(BACKENDS),
+                     help="index backend (packed = flat buffers, default)")
     qry.add_argument("--budget", type=int, default=None,
                      help="examined-route cap (reports INF when hit)")
     qry.add_argument("--routes", action="store_true",
                      help="restore actual routes, not just witnesses")
+    qry.add_argument("--profile", action="store_true",
+                     help="collect and print the Table X time breakdown")
 
     fig = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig.add_argument("--name", required=True, choices=sorted(FIGURES))
@@ -134,7 +138,9 @@ def cmd_preprocess(args) -> int:
     print(f"labels built in {p.label_build_seconds:.2f}s: "
           f"avg |Lin| = {p.avg_lin:.1f}, avg |Lout| = {p.avg_lout:.1f}, "
           f"{p.label_entries} entries")
-    packed = PackedLabelIndex.from_index(engine.labels)
+    labels = engine.labels
+    packed = (labels if isinstance(labels, PackedLabelIndex)
+              else PackedLabelIndex.from_index(labels))
     written = packed.save(out / "labels.bin")
     print(f"packed labels: {written / 1e6:.2f} MB -> {out / 'labels.bin'}")
     store = engine.attach_disk_store(out / "shards")
@@ -145,11 +151,13 @@ def cmd_preprocess(args) -> int:
 
 def _make_engine(args):
     graph = _load_graph(args.graph)
+    backend = getattr(args, "backend", "packed")
     if args.index:
         labels_path = Path(args.index) / "labels.bin"
         packed = PackedLabelIndex.load(labels_path)
-        engine = KOSREngine.from_labels(graph, packed.to_index(),
-                                        name=Path(args.graph).stem)
+        engine = KOSREngine.from_labels(graph, packed,
+                                        name=Path(args.graph).stem,
+                                        backend=backend)
         shards = Path(args.index) / "shards"
         if shards.exists():
             from repro.labeling.storage import CategoryShardStore
@@ -159,7 +167,7 @@ def _make_engine(args):
     if args.method == "SK-DB":
         raise SystemExit("SK-DB needs --index (run `preprocess` first)")
     if args.nn_backend == "label" and args.method not in ("GSP", "GSP-CH"):
-        return KOSREngine.build(graph)
+        return KOSREngine.build(graph, backend=backend)
     return KOSREngine(graph)
 
 
@@ -174,6 +182,7 @@ def cmd_query(args) -> int:
         args.source, args.target, categories, k=args.k,
         method=args.method, nn_backend=args.nn_backend,
         budget=args.budget, restore_routes=args.routes,
+        profile=args.profile,
     )
     elapsed = time.perf_counter() - t0
     stats = result.stats
@@ -188,6 +197,11 @@ def cmd_query(args) -> int:
         print("no feasible route")
     print(f"[{args.method}/{args.nn_backend}] {stats.examined_routes} examined, "
           f"{stats.nn_queries} NN queries, {elapsed * 1000:.2f} ms")
+    if args.profile:
+        print(f"  breakdown: nn {stats.nn_time * 1000:.2f} ms, "
+              f"queue {stats.queue_time * 1000:.2f} ms, "
+              f"estimation {stats.estimation_time * 1000:.2f} ms, "
+              f"other {stats.other_time * 1000:.2f} ms")
     return 0 if stats.completed else 2
 
 

@@ -24,11 +24,16 @@ Entry = Tuple[Any, ...]
 
 
 class DominanceTables:
-    """HT≺ and HT≻ for every vertex touched by one query."""
+    """HT≺ and HT≻ for every vertex touched by one query.
+
+    Both maps are flat dicts keyed by ``(vertex, size)`` — the nested
+    dict-of-dict layout costs an extra lookup plus a discarded ``{}``
+    allocation per ``setdefault`` probe on the search hot path.
+    """
 
     def __init__(self) -> None:
-        self._dominators: Dict[Vertex, Dict[int, Tuple[Vertex, ...]]] = {}
-        self._parked: Dict[Vertex, Dict[int, List[Entry]]] = {}
+        self._dominators: Dict[Tuple[Vertex, int], Tuple[Vertex, ...]] = {}
+        self._parked: Dict[Tuple[Vertex, int], List[Entry]] = {}
         #: counters surfaced into QueryStats
         self.dominated = 0
         self.released = 0
@@ -42,25 +47,27 @@ class DominanceTables:
         False when another witness already dominates (caller must
         :meth:`park` it).
         """
-        table = self._dominators.setdefault(vertex, {})
-        if size in table:
+        key = (vertex, size)
+        if key in self._dominators:
             return False
-        table[size] = witness
+        self._dominators[key] = witness
         return True
 
     def dominator(self, vertex: Vertex, size: int) -> Optional[Tuple[Vertex, ...]]:
         """The current HT≺ entry, if any."""
-        return self._dominators.get(vertex, {}).get(size)
+        return self._dominators.get((vertex, size))
 
     def park(self, vertex: Vertex, size: int, entry: Entry) -> None:
         """Store a dominated witness in HT≻ (cheapest-first)."""
-        heapq.heappush(
-            self._parked.setdefault(vertex, {}).setdefault(size, []), entry
-        )
+        key = (vertex, size)
+        heap = self._parked.get(key)
+        if heap is None:
+            heap = self._parked[key] = []
+        heapq.heappush(heap, entry)
         self.dominated += 1
 
     def parked_count(self, vertex: Vertex, size: int) -> int:
-        return len(self._parked.get(vertex, {}).get(size, []))
+        return len(self._parked.get((vertex, size), ()))
 
     # ------------------------------------------------------------------
     def release_for_result(self, complete: Tuple[Vertex, ...]) -> List[Entry]:
@@ -74,14 +81,14 @@ class DominanceTables:
         paper's '-' marker by the caller).
         """
         released: List[Entry] = []
+        dominators = self._dominators
         for i in range(1, len(complete) - 1):
-            vi = complete[i]
-            table = self._dominators.get(vi)
-            if not table or table.get(i + 1) != complete[: i + 1]:
+            key = (complete[i], i + 1)
+            if dominators.get(key) != complete[: i + 1]:
                 continue
-            heap = self._parked.get(vi, {}).get(i + 1)
+            heap = self._parked.get(key)
             if heap:
                 released.append(heapq.heappop(heap))
                 self.released += 1
-            del table[i + 1]
+            del dominators[key]
         return released

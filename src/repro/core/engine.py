@@ -15,6 +15,20 @@ Typical use::
 The engine owns the offline artefacts (label index, inverted indexes,
 optional disk store) and dispatches online queries to any of the paper's
 methods over any NN backend.
+
+Two interchangeable *index backends* exist (``BACKENDS``):
+
+* ``"packed"`` (default) — flat-buffer label and inverted indexes
+  (:class:`~repro.labeling.packed.PackedLabelIndex`,
+  :class:`~repro.labeling.packed_inverted.PackedInvertedIndex`); every
+  query hot path is index arithmetic over parallel buffers.
+* ``"object"`` — per-entry :class:`~repro.labeling.labels.LabelEntry`
+  objects and dict-of-tuple-list inverted indexes; kept as the reference
+  implementation and for incremental category updates
+  (:mod:`repro.labeling.updates`).
+
+Both return bit-identical results (asserted by the backend-parity tests);
+pick with ``KOSREngine.build(graph, backend=...)``.
 """
 
 from __future__ import annotations
@@ -33,11 +47,13 @@ from repro.exceptions import QueryError
 from repro.graph.graph import Graph
 from repro.labeling.inverted import InvertedLabelIndex, build_inverted_indexes
 from repro.labeling.labels import LabelIndex
+from repro.labeling.packed import PackedLabelIndex
+from repro.labeling.packed_inverted import build_packed_inverted_indexes
 from repro.labeling.pll_unweighted import build_labels_auto
 from repro.labeling.storage import CategoryShardStore, DiskLabelRepository
 from repro.nn.base import NearestNeighborFinder
 from repro.nn.dijkstra_nn import DijkstraNNFinder
-from repro.nn.label_nn import LabelNNFinder
+from repro.nn.label_nn import LabelNNFinder, PackedLabelNNFinder
 from repro.types import CategoryId, Route, SequencedResult, Vertex
 
 #: Method identifiers accepted by :meth:`KOSREngine.query`, matching the
@@ -50,6 +66,11 @@ METHODS = ("KPNE", "PK", "SK", "SK-NODOM", "SK-DB", "GSP", "GSP-CH")
 #: "dij-restart" = the paper's from-scratch Dijkstra (the ``*-Dij`` curves);
 #: "dij-resume" = resumable Dijkstra cursors (ablation).
 NN_BACKENDS = ("label", "dij-restart", "dij-resume")
+
+#: Index backends: "packed" = flat parallel buffers (default, fastest);
+#: "object" = per-entry LabelEntry objects (reference implementation,
+#: required for incremental category updates).
+BACKENDS = ("packed", "object")
 
 
 @dataclass
@@ -78,25 +99,53 @@ class KOSREngine:
         labels: Optional[LabelIndex] = None,
         inverted: Optional[Dict[CategoryId, InvertedLabelIndex]] = None,
         preprocessing: Optional[PreprocessingStats] = None,
+        backend: str = "packed",
     ):
         self.graph = graph
         self.labels = labels
         self.inverted = inverted
         self.preprocessing = preprocessing
+        self.backend = backend
         self._store: Optional[CategoryShardStore] = None
         self._ch = None
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    @staticmethod
+    def _check_backend(backend: str) -> None:
+        if backend not in BACKENDS:
+            raise QueryError(
+                f"unknown index backend {backend!r}; choose from {BACKENDS}"
+            )
+
+    @staticmethod
+    def _inverted_stats(stats: PreprocessingStats, inverted) -> None:
+        """Fill the Table IX inverted-index statistics (either backend)."""
+        totals = [il.total_entries for il in inverted.values()]
+        stats.inverted_entries = sum(totals)
+        stats.avg_il_per_category = (sum(totals) / len(totals)) if totals else 0.0
+        lengths = [il.average_list_length() for il in inverted.values() if il.num_hubs]
+        stats.avg_il_list_length = (sum(lengths) / len(lengths)) if lengths else 0.0
+
     @classmethod
     def build(
         cls,
         graph: Graph,
         order: Optional[Sequence[Vertex]] = None,
         name: str = "",
+        backend: str = "packed",
     ) -> "KOSREngine":
-        """Build hub labels and inverted indexes, recording Table IX stats."""
+        """Build hub labels and inverted indexes, recording Table IX stats.
+
+        ``backend`` selects the index representation (see ``BACKENDS``):
+        ``"packed"`` (default) stores labels and inverted lists as flat
+        parallel buffers and serves queries without materialising
+        per-entry objects; ``"object"`` keeps the per-entry
+        :class:`~repro.labeling.labels.LabelEntry` representation.  Both
+        backends return identical results.
+        """
+        cls._check_backend(backend)
         stats = PreprocessingStats(
             graph_name=name,
             num_vertices=graph.num_vertices,
@@ -104,26 +153,28 @@ class KOSREngine:
         )
         t0 = time.perf_counter()
         labels = build_labels_auto(graph, order)
+        if backend == "packed":
+            labels = PackedLabelIndex.from_index(labels)
         stats.label_build_seconds = time.perf_counter() - t0
         stats.avg_lin, stats.avg_lout = labels.average_label_sizes()
         stats.label_entries = labels.size_entries()
 
         t0 = time.perf_counter()
-        inverted = build_inverted_indexes(graph, labels)
+        if backend == "packed":
+            inverted = build_packed_inverted_indexes(graph, labels)
+        else:
+            inverted = build_inverted_indexes(graph, labels)
         stats.inverted_build_seconds = time.perf_counter() - t0
-        totals = [il.total_entries for il in inverted.values()]
-        stats.inverted_entries = sum(totals)
-        stats.avg_il_per_category = (sum(totals) / len(totals)) if totals else 0.0
-        lengths = [il.average_list_length() for il in inverted.values() if il.num_hubs]
-        stats.avg_il_list_length = (sum(lengths) / len(lengths)) if lengths else 0.0
-        return cls(graph, labels, inverted, stats)
+        cls._inverted_stats(stats, inverted)
+        return cls(graph, labels, inverted, stats, backend=backend)
 
     @classmethod
     def from_labels(
         cls,
         graph: Graph,
-        labels: LabelIndex,
+        labels: Union[LabelIndex, PackedLabelIndex],
         name: str = "",
+        backend: str = "packed",
     ) -> "KOSREngine":
         """Assemble an engine from prebuilt labels (rebuilds only the
         inverted indexes).
@@ -132,23 +183,32 @@ class KOSREngine:
         that vary *category assignments* (|Ci|, zipf skew) reuse one label
         index across settings — this is the paper's setup, where labels are
         precomputed offline once per graph.
+
+        ``labels`` may be either representation; it is converted to match
+        ``backend`` when necessary (a :class:`PackedLabelIndex` passed to
+        the default packed backend is used as-is, so engines can share one
+        index instance).
         """
+        cls._check_backend(backend)
         stats = PreprocessingStats(
             graph_name=name,
             num_vertices=graph.num_vertices,
             num_edges=graph.num_edges,
         )
+        if backend == "packed" and isinstance(labels, LabelIndex):
+            labels = PackedLabelIndex.from_index(labels)
+        elif backend == "object" and isinstance(labels, PackedLabelIndex):
+            labels = labels.to_index()
         stats.avg_lin, stats.avg_lout = labels.average_label_sizes()
         stats.label_entries = labels.size_entries()
         t0 = time.perf_counter()
-        inverted = build_inverted_indexes(graph, labels)
+        if backend == "packed":
+            inverted = build_packed_inverted_indexes(graph, labels)
+        else:
+            inverted = build_inverted_indexes(graph, labels)
         stats.inverted_build_seconds = time.perf_counter() - t0
-        totals = [il.total_entries for il in inverted.values()]
-        stats.inverted_entries = sum(totals)
-        stats.avg_il_per_category = (sum(totals) / len(totals)) if totals else 0.0
-        lengths = [il.average_list_length() for il in inverted.values() if il.num_hubs]
-        stats.avg_il_list_length = (sum(lengths) / len(lengths)) if lengths else 0.0
-        return cls(graph, labels, inverted, stats)
+        cls._inverted_stats(stats, inverted)
+        return cls(graph, labels, inverted, stats, backend=backend)
 
     def attach_disk_store(self, path) -> CategoryShardStore:
         """Serialise the indexes to ``path`` and enable the SK-DB method."""
@@ -182,6 +242,7 @@ class KOSREngine:
         budget: Optional[int] = None,
         time_budget_s: Optional[float] = None,
         restore_routes: bool = False,
+        profile: bool = False,
     ) -> KOSRResult:
         """Answer a KOSR query.
 
@@ -189,10 +250,15 @@ class KOSREngine:
         (``stats.completed`` turns False when either is hit — the paper's
         INF).  ``restore_routes`` additionally materialises each witness
         into an actual vertex-by-vertex route via label parent pointers.
+        ``profile`` opts into the per-operation Table X timers
+        (``nn_time``/``queue_time``/``estimation_time``); by default the
+        hot loops run instrumentation-free and those fields stay 0.0 while
+        every counter still populates.
         """
         q = self.make_query(source, target, categories, k)
         return self.run(q, method=method, nn_backend=nn_backend, budget=budget,
-                        time_budget_s=time_budget_s, restore_routes=restore_routes)
+                        time_budget_s=time_budget_s, restore_routes=restore_routes,
+                        profile=profile)
 
     def run(
         self,
@@ -203,16 +269,18 @@ class KOSREngine:
         time_budget_s: Optional[float] = None,
         restore_routes: bool = False,
         strict_budget: bool = False,
+        profile: bool = False,
     ) -> KOSRResult:
         """Answer a prevalidated :class:`KOSRQuery`.
 
         With ``strict_budget`` a guard hit raises
         :class:`~repro.exceptions.BudgetExceededError` instead of returning
-        a partial result with ``stats.completed = False``.
+        a partial result with ``stats.completed = False``.  ``profile``
+        enables the per-operation Table X timers (see :meth:`query`).
         """
         if method not in METHODS:
             raise QueryError(f"unknown method {method!r}; choose from {METHODS}")
-        stats = QueryStats(method=method)
+        stats = QueryStats(method=method, profile=profile)
         t_start = time.perf_counter()
         deadline = None if time_budget_s is None else t_start + time_budget_s
         if method == "GSP":
@@ -254,6 +322,8 @@ class KOSREngine:
         if nn_backend == "label":
             if self.labels is None or self.inverted is None:
                 raise QueryError("label backend requires built indexes; call build()")
+            if self.backend == "packed":
+                return PackedLabelNNFinder(self.labels, self.inverted)
             return LabelNNFinder.from_index(self.labels, self.inverted)
         if nn_backend == "dij-restart":
             return DijkstraNNFinder(self.graph, mode="restart")

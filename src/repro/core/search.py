@@ -18,13 +18,19 @@ StarKOSR      yes                yes
 Implementing the paper's Algorithm 2 once with these switches keeps the
 comparisons honest: all methods pay identical per-operation overheads, so
 the measured gaps come from the algorithms, not the engineering.
+
+Per-operation timing (the Table X breakdown) is gated on
+``stats.profile``: in the default profile-off mode the loop performs zero
+``perf_counter`` syscalls — the only exception is the explicit
+``deadline`` guard, which needs the clock by definition and is skipped
+entirely when no deadline is set.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-import time
+from time import perf_counter
 from typing import List, Optional, Tuple
 
 from repro.core.dominance import DominanceTables
@@ -57,21 +63,39 @@ def sequenced_route_search(
     queries that do not finish within 3,600 seconds).
     """
     stats = runtime.stats
+    profile = stats.profile
     query = runtime.query
     num_levels = runtime.num_levels
     k = query.k
     tiebreak = itertools.count()
+    heappush, heappop = heapq.heappush, heapq.heappop
 
     queue: List[_Entry] = []
 
-    def push(key: Cost, vertices: Tuple[Vertex, ...], cost: Cost,
-             x: Optional[int], prefix_cost: Cost) -> None:
-        t0 = time.perf_counter()
-        heapq.heappush(queue, (key, next(tiebreak), vertices, cost, x, prefix_cost))
-        stats.queue_time += time.perf_counter() - t0
-        stats.generated_routes += 1
-        if len(queue) > stats.max_queue_size:
-            stats.max_queue_size = len(queue)
+    # Push/pop counters accumulate in locals and fold into ``stats`` at the
+    # single exit point below — one attribute write instead of two per op.
+    generated = 0
+    max_queue = 0
+    examined = 0
+
+    if profile:
+        def push(key: Cost, vertices: Tuple[Vertex, ...], cost: Cost,
+                 x: Optional[int], prefix_cost: Cost) -> None:
+            nonlocal generated, max_queue
+            t0 = perf_counter()
+            heappush(queue, (key, next(tiebreak), vertices, cost, x, prefix_cost))
+            stats.queue_time += perf_counter() - t0
+            generated += 1
+            if len(queue) > max_queue:
+                max_queue = len(queue)
+    else:
+        def push(key: Cost, vertices: Tuple[Vertex, ...], cost: Cost,
+                 x: Optional[int], prefix_cost: Cost) -> None:
+            nonlocal generated, max_queue
+            heappush(queue, (key, next(tiebreak), vertices, cost, x, prefix_cost))
+            generated += 1
+            if len(queue) > max_queue:
+                max_queue = len(queue)
 
     if sources is None:
         sources = [(query.source, 0.0)]
@@ -88,21 +112,30 @@ def sequenced_route_search(
     tables = DominanceTables()
 
     results: List[SequencedResult] = []
+    nearest = runtime.nearest
+    nearest_estimated = runtime.nearest_estimated if estimated else None
+    per_level = stats.per_level_examined
 
     while queue and len(results) < k:
-        t0 = time.perf_counter()
-        key, _, vertices, cost, x, prefix_cost = heapq.heappop(queue)
-        stats.queue_time += time.perf_counter() - t0
+        if profile:
+            t0 = perf_counter()
+            key, _, vertices, cost, x, prefix_cost = heappop(queue)
+            stats.queue_time += perf_counter() - t0
+        else:
+            key, _, vertices, cost, x, prefix_cost = heappop(queue)
 
         level = len(vertices) - 1
-        stats.examined_routes += 1
-        stats.bump_level(level)
+        examined += 1
+        if level < len(per_level):
+            per_level[level] += 1
+        else:
+            stats.bump_level(level)
         if trace is not None:
             trace.append((vertices, cost))
-        if budget is not None and stats.examined_routes > budget:
+        if budget is not None and examined > budget:
             stats.completed = False
             break
-        if deadline is not None and time.perf_counter() > deadline:
+        if deadline is not None and perf_counter() > deadline:
             stats.completed = False
             break
 
@@ -125,22 +158,28 @@ def sequenced_route_search(
                 # the global queue so the cheapest is reconsidered first.
                 extend = False
                 stats.dominated_routes += 1
-                t0 = time.perf_counter()
-                tables.park(
-                    last, size,
-                    (key, next(tiebreak), vertices, cost, None, prefix_cost),
-                )
-                stats.queue_time += time.perf_counter() - t0
+                if profile:
+                    t0 = perf_counter()
+                    tables.park(
+                        last, size,
+                        (key, next(tiebreak), vertices, cost, None, prefix_cost),
+                    )
+                    stats.queue_time += perf_counter() - t0
+                else:
+                    tables.park(
+                        last, size,
+                        (key, next(tiebreak), vertices, cost, None, prefix_cost),
+                    )
 
         if extend:
             # Extend through the (estimated) nearest neighbor (lines 14-17).
             if estimated:
-                nxt = runtime.nearest_estimated(last, level + 1, 1)
+                nxt = nearest_estimated(last, level + 1, 1)
                 if nxt is not None:
                     u, leg, est = nxt
                     push(cost + est, vertices + (u,), cost + leg, 1, cost)
             else:
-                nxt = runtime.nearest(last, level + 1, 1)
+                nxt = nearest(last, level + 1, 1)
                 if nxt is not None:
                     u, leg = nxt
                     push(cost + leg, vertices + (u,), cost + leg, 1, cost)
@@ -149,18 +188,22 @@ def sequenced_route_search(
             # Sibling candidate via the (x+1)-th neighbor (lines 20-22).
             prev = vertices[-2]
             if estimated:
-                sib = runtime.nearest_estimated(prev, level, x + 1)
+                sib = nearest_estimated(prev, level, x + 1)
                 if sib is not None:
                     u, leg, est = sib
                     push(prefix_cost + est, vertices[:-1] + (u,),
                          prefix_cost + leg, x + 1, prefix_cost)
             else:
-                sib = runtime.nearest(prev, level, x + 1)
+                sib = nearest(prev, level, x + 1)
                 if sib is not None:
                     u, leg = sib
                     push(prefix_cost + leg, vertices[:-1] + (u,),
                          prefix_cost + leg, x + 1, prefix_cost)
 
+    stats.examined_routes += examined
+    stats.generated_routes += generated
+    if max_queue > stats.max_queue_size:
+        stats.max_queue_size = max_queue
     stats.results_found = len(results)
     runtime.finalize_counters()
     return results

@@ -17,7 +17,7 @@ from repro.core.engine import KOSREngine
 from repro.graph import generators
 from repro.graph.categories import assign_uniform_categories, assign_zipfian_categories
 from repro.graph.graph import Graph
-from repro.labeling.labels import LabelIndex
+from repro.labeling.packed import PackedLabelIndex
 from repro.labeling.pll_unweighted import build_labels_auto
 
 #: Dataset scale for the benchmark suite; 1.0 = the full analogues.
@@ -37,29 +37,40 @@ C_LEN_SWEEP = (2, 4, 6, 8, 10)
 ZIPF_SWEEP = (1.2, 1.4, 1.6, 1.8)
 
 _graph_cache: Dict[Tuple, Graph] = {}
-_label_cache: Dict[Tuple, LabelIndex] = {}
+_label_cache: Dict[Tuple, PackedLabelIndex] = {}
 _engine_cache: Dict[Tuple, KOSREngine] = {}
 _store_dirs: Dict[int, str] = {}
 
 
-def _labels_for(name: str, scale: float, graph: Graph) -> LabelIndex:
+def _labels_for(name: str, scale: float, graph: Graph) -> PackedLabelIndex:
+    """One packed label index per ``(dataset, scale)``; engines share it.
+
+    The packed form is cached (it is what the default backend consumes
+    as-is); object-backend engines unpack their own copy on demand.
+    """
     key = (name, round(scale, 6))
     labels = _label_cache.get(key)
     if labels is None:
-        labels = build_labels_auto(graph)
+        labels = PackedLabelIndex.from_index(build_labels_auto(graph))
         _label_cache[key] = labels
     return labels
 
 
-def engine_for(name: str, scale: Optional[float] = None) -> KOSREngine:
-    """Engine over a dataset analogue with its default categories (cached)."""
+def engine_for(
+    name: str, scale: Optional[float] = None, backend: str = "packed"
+) -> KOSREngine:
+    """Engine over a dataset analogue with its default categories (cached).
+
+    ``backend`` selects the engine's index representation (the micro
+    benchmarks compare "packed" against "object" on the same labels).
+    """
     scale = BENCH_SCALE if scale is None else scale
-    key = (name, round(scale, 6), "default")
+    key = (name, round(scale, 6), "default", backend)
     engine = _engine_cache.get(key)
     if engine is None:
         graph = generators.dataset_by_name(name, scale=scale)
         labels = _labels_for(name, scale, graph)
-        engine = KOSREngine.from_labels(graph, labels, name=name)
+        engine = KOSREngine.from_labels(graph, labels, name=name, backend=backend)
         _engine_cache[key] = engine
     return engine
 

@@ -43,7 +43,8 @@ def _workload_for(engine: KOSREngine, c_len: int, k: int,
     return random_queries(engine.graph, n, c_len, k, seed=seed)
 
 
-def _run(engine: KOSREngine, workload: Workload, label: str) -> MethodAggregate:
+def _run(engine: KOSREngine, workload: Workload, label: str,
+         profile: bool = False) -> MethodAggregate:
     if label.endswith("-Dij"):
         # The restarting-Dijkstra variants are deliberately slow (that is
         # the paper's point); bound their wall time and sample fewer
@@ -53,7 +54,8 @@ def _run(engine: KOSREngine, workload: Workload, label: str) -> MethodAggregate:
     else:
         time_budget = DEFAULT_TIME_BUDGET_S
     return run_workload(engine, workload, label,
-                        budget=DEFAULT_EXAMINED_BUDGET, time_budget_s=time_budget)
+                        budget=DEFAULT_EXAMINED_BUDGET, time_budget_s=time_budget,
+                        profile=profile)
 
 
 def _agg_row(agg: MethodAggregate, **extra) -> Row:
@@ -298,7 +300,9 @@ def table10_breakdown(
     workload = _workload_for(engine, c_len, k, num_queries, seed=67)
     rows: List[Row] = []
     for label in methods:
-        agg = _run(engine, workload, label)
+        # The breakdown is the one figure that needs the per-operation
+        # timers, so it opts into profile mode explicitly.
+        agg = _run(engine, workload, label, profile=True)
         n = max(1, agg.num_queries)
         overall = 1000.0 * agg.total_time_s / n
         nn = 1000.0 * agg.nn_time_s / n

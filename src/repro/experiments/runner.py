@@ -100,6 +100,7 @@ def run_workload(
     budget: Optional[int] = DEFAULT_EXAMINED_BUDGET,
     time_budget_s: Optional[float] = DEFAULT_TIME_BUDGET_S,
     stop_after_first_unfinished: bool = True,
+    profile: bool = False,
 ) -> MethodAggregate:
     """Execute ``workload`` with the method named by the paper legend ``label``.
 
@@ -107,6 +108,10 @@ def run_workload(
     unfinished query already forces an INF report skips its remaining
     queries — the aggregate is INF either way, and the skip keeps the
     scaled bench suite's wall time bounded.
+
+    ``profile`` opts into the per-operation Table X timers; leave it off
+    (the default) for run-time comparisons so instrumentation does not
+    distort the measured gaps.
     """
     if label in ("GSP", "GSP-CH"):
         method, backend = label, "label"
@@ -120,7 +125,7 @@ def run_workload(
     for query in workload:
         result = engine.run(
             query, method=method, nn_backend=backend,
-            budget=budget, time_budget_s=time_budget_s,
+            budget=budget, time_budget_s=time_budget_s, profile=profile,
         )
         agg.add(result.stats)
         if agg.unfinished and stop_after_first_unfinished:

@@ -8,6 +8,10 @@
   parent pointers.
 * :mod:`repro.labeling.inverted` — the paper's per-category inverted label
   index ``IL(Ci)`` that makes FindNN incremental.
+* :mod:`repro.labeling.packed` / :mod:`repro.labeling.packed_inverted` —
+  flat-buffer counterparts of the label and inverted indexes; the default
+  ("packed") query backend operates on these without materialising
+  per-entry objects.
 * :mod:`repro.labeling.storage` — disk-resident per-category shards (SK-DB).
 * :mod:`repro.labeling.updates` — dynamic category updates (Sec. IV-C).
 """
@@ -22,6 +26,11 @@ from repro.labeling.pll_unweighted import (
 )
 from repro.labeling.inverted import InvertedLabelIndex, build_inverted_indexes
 from repro.labeling.packed import PackedLabelIndex
+from repro.labeling.packed_inverted import (
+    PackedInvertedIndex,
+    build_packed_inverted_index,
+    build_packed_inverted_indexes,
+)
 from repro.labeling.storage import CategoryShardStore, DiskLabelRepository
 from repro.labeling.updates import add_vertex_to_category, remove_vertex_from_category
 
@@ -37,6 +46,9 @@ __all__ = [
     "InvertedLabelIndex",
     "build_inverted_indexes",
     "PackedLabelIndex",
+    "PackedInvertedIndex",
+    "build_packed_inverted_index",
+    "build_packed_inverted_indexes",
     "CategoryShardStore",
     "DiskLabelRepository",
     "add_vertex_to_category",

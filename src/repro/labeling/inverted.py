@@ -47,6 +47,10 @@ class InvertedLabelIndex:
         """The sorted entries of hub ``hub`` (empty when the hub is unused)."""
         return self.lists.get(hub, [])
 
+    def as_lists(self) -> Dict[Vertex, List[Tuple[Cost, Vertex]]]:
+        """Hub -> sorted ``(dist, member)`` lists (the serialisation view)."""
+        return self.lists
+
     @property
     def total_entries(self) -> int:
         """``|IL(Ci)|`` — total label entries in this category's index."""
@@ -66,11 +70,25 @@ class InvertedLabelIndex:
 def build_inverted_index(
     graph: Graph, labels: LabelIndex, category: CategoryId
 ) -> InvertedLabelIndex:
-    """Build ``IL(Ci)`` for one category from the label index."""
+    """Build ``IL(Ci)`` for one category from the label index.
+
+    Entries are appended and each hub list sorted once at the end —
+    O(L log L) overall — instead of per-entry ``insort``, which costs an
+    O(L) list shift per insertion.  ``add_entry`` (insort) remains the
+    primitive for *incremental* category updates, where lists must stay
+    sorted between calls.
+    """
     il = InvertedLabelIndex(category)
+    lists = il.lists
     for member in sorted(graph.members(category)):
         for entry in labels.lin(member):
-            il.add_entry(labels.hub_vertex(entry.hub_rank), entry.dist, member)
+            hub = labels.hub_vertex(entry.hub_rank)
+            bucket = lists.get(hub)
+            if bucket is None:
+                bucket = lists[hub] = []
+            bucket.append((entry.dist, member))
+    for bucket in lists.values():
+        bucket.sort()
     return il
 
 

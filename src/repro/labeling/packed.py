@@ -1,17 +1,25 @@
-"""Compact array-backed label storage (the paper's compression remark).
+"""Flat-buffer label storage: the primary query backend.
 
 Sec. V-A notes that on large graphs "the index sizes may be too large to
 fit into main memory" and points at hub-label compression [12].  This
-module provides the first rung of that ladder: a packed representation
-that stores each vertex's label set in three parallel ``array`` buffers
-(hub ranks, distances, parents) instead of per-entry Python objects —
-roughly an order of magnitude less memory than lists of dataclasses —
-plus a delta-encoded binary serialisation.
+module stores each vertex's label set in three flat parallel buffers
+(hub ranks, distances, parents) plus an offsets buffer, instead of
+per-entry :class:`~repro.labeling.labels.LabelEntry` objects, and adds a
+delta-encoded binary serialisation.
+
+The in-memory buffers are plain Python lists of primitives.  ``array``
+buffers would be more compact at rest, but ``array.__getitem__`` re-boxes
+its element on every access, which benchmarks *slower* in the merge-join
+hot loop than either list indexing or dataclass attribute access; lists
+of already-boxed numbers are the fastest pure-Python layout.  The
+``array``/varint forms are used only inside :meth:`PackedLabelIndex.save`
+and :meth:`PackedLabelIndex.load`.
 
 :class:`PackedLabelIndex` offers the same query surface as
 :class:`repro.labeling.labels.LabelIndex` (``distance``,
-``distance_with_hub``, ``path``, ``lin``/``lout``), so it can be swapped
-in wherever memory matters; tests assert full parity.
+``distance_with_hub``, ``path``, ``restore_witness_route``,
+``lin``/``lout``), so the two backends are interchangeable; tests assert
+full parity.
 """
 
 from __future__ import annotations
@@ -35,15 +43,15 @@ _VERSION = 1
 
 
 class _PackedSide:
-    """One direction's labels (all vertices) in packed form."""
+    """One direction's labels (all vertices) as flat parallel buffers."""
 
     __slots__ = ("offsets", "hub_ranks", "dists", "parents")
 
     def __init__(self) -> None:
-        self.offsets = array("q", [0])
-        self.hub_ranks = array("q")
-        self.dists = array("d")
-        self.parents = array("q")
+        self.offsets: List[int] = [0]
+        self.hub_ranks: List[int] = []
+        self.dists: List[Cost] = []
+        self.parents: List[int] = []
 
     def append_label(self, entries: List[LabelEntry]) -> None:
         for e in entries:
@@ -68,11 +76,12 @@ class _PackedSide:
 
     @property
     def nbytes(self) -> int:
-        return (
-            self.offsets.itemsize * len(self.offsets)
-            + self.hub_ranks.itemsize * len(self.hub_ranks)
-            + self.dists.itemsize * len(self.dists)
-            + self.parents.itemsize * len(self.parents)
+        """At-rest footprint: 8 bytes per buffer element when serialised."""
+        return 8 * (
+            len(self.offsets)
+            + len(self.hub_ranks)
+            + len(self.dists)
+            + len(self.parents)
         )
 
 
@@ -120,6 +129,14 @@ class PackedLabelIndex:
 
     def lout(self, v: Vertex) -> List[LabelEntry]:
         return self._lout.entries(v)
+
+    def lin_side(self) -> _PackedSide:
+        """The raw ``Lin`` buffers (hot-path consumers index these directly)."""
+        return self._lin
+
+    def lout_side(self) -> _PackedSide:
+        """The raw ``Lout`` buffers (hot-path consumers index these directly)."""
+        return self._lout
 
     @property
     def nbytes(self) -> int:
@@ -211,6 +228,29 @@ class PackedLabelIndex:
         parent = side.parents[lo]
         return None if parent == _NO_PARENT else parent
 
+    def restore_witness_route(
+        self, witness_vertices: List[Vertex]
+    ) -> Tuple[Cost, List[Vertex]]:
+        """Concatenate shortest paths between consecutive witness vertices.
+
+        Same semantics as :meth:`repro.labeling.labels.LabelIndex.
+        restore_witness_route`: converts a KOSR witness into an actual
+        route (Definition 2); consecutive duplicates contribute no edges.
+        """
+        if not witness_vertices:
+            return 0.0, []
+        total = 0.0
+        route: List[Vertex] = [witness_vertices[0]]
+        for a, b in zip(witness_vertices, witness_vertices[1:]):
+            if a == b:
+                continue
+            d, sub = self.path(a, b)
+            if d == INFINITY:
+                return INFINITY, []
+            total += d
+            route.extend(sub[1:])
+        return total, route
+
     # ------------------------------------------------------------------
     # Binary serialisation with delta-encoded hub ranks.
     # ------------------------------------------------------------------
@@ -227,9 +267,9 @@ class PackedLabelIndex:
         payload += array("q", self._order).tobytes()
         for side in (self._lin, self._lout):
             payload += struct.pack("<Q", len(side.hub_ranks))
-            payload += side.offsets.tobytes()
+            payload += array("q", side.offsets).tobytes()
             payload += _delta_varint_encode(side.offsets, side.hub_ranks)
-            payload += side.dists.tobytes()
+            payload += array("d", side.dists).tobytes()
             payload += array("q", side.parents).tobytes()
         with open(path, "wb") as f:
             f.write(payload)
@@ -256,21 +296,24 @@ class PackedLabelIndex:
             (entry_count,) = struct.unpack_from("<Q", view, pos)
             pos += 8
             side = _PackedSide()
-            side.offsets = array("q")
-            side.offsets.frombytes(view[pos: pos + 8 * (n + 1)])
+            offsets = array("q")
+            offsets.frombytes(view[pos: pos + 8 * (n + 1)])
             pos += 8 * (n + 1)
+            side.offsets = offsets.tolist()
             side.hub_ranks, pos = _delta_varint_decode(view, pos, side.offsets)
-            side.dists = array("d")
-            side.dists.frombytes(view[pos: pos + 8 * entry_count])
+            dists = array("d")
+            dists.frombytes(view[pos: pos + 8 * entry_count])
             pos += 8 * entry_count
-            side.parents = array("q")
-            side.parents.frombytes(view[pos: pos + 8 * entry_count])
+            side.dists = dists.tolist()
+            parents = array("q")
+            parents.frombytes(view[pos: pos + 8 * entry_count])
             pos += 8 * entry_count
+            side.parents = parents.tolist()
             sides.append(side)
         return cls(list(order), sides[0], sides[1])
 
 
-def _delta_varint_encode(offsets: array, ranks: array) -> bytes:
+def _delta_varint_encode(offsets: List[int], ranks: List[int]) -> bytes:
     """Per-label ascending hub ranks -> varint-encoded first-rank + deltas."""
     out = bytearray()
     for v in range(len(offsets) - 1):
@@ -289,8 +332,10 @@ def _delta_varint_encode(offsets: array, ranks: array) -> bytes:
     return bytes(out)
 
 
-def _delta_varint_decode(view: memoryview, pos: int, offsets: array) -> Tuple[array, int]:
-    ranks = array("q")
+def _delta_varint_decode(
+    view: memoryview, pos: int, offsets: List[int]
+) -> Tuple[List[int], int]:
+    ranks: List[int] = []
     for v in range(len(offsets) - 1):
         prev = 0
         for _ in range(offsets[v + 1] - offsets[v]):

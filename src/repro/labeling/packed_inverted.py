@@ -1,0 +1,169 @@
+"""Packed per-category inverted label index (the query-path ``IL(Ci)``).
+
+:class:`repro.labeling.inverted.InvertedLabelIndex` stores one sorted
+Python list of ``(dist, member)`` tuples per hub — convenient for
+incremental updates, but every FindNN advance then pays a dict lookup, a
+list indexing, and a tuple unpack per step.  This module flattens a whole
+category into two parallel buffers
+
+* ``dists``   — member distances, hub runs concatenated;
+* ``members`` — member vertex ids, parallel to ``dists``;
+
+plus a ``hub -> (lo, hi)`` slice map.  Each hub's run is sorted by
+``(dist, member)``, so a FindNN cursor is just integer positions into the
+buffers — no per-entry objects or tuples on the hot path.
+
+The buffers are plain Python lists of primitives rather than ``array``
+instances: ``array.__getitem__`` re-boxes the element on every access,
+which measures *slower* than attribute access on label objects, whereas
+list access merely increfs the already-boxed number.  The compact
+``array``/varint forms are used only at the serialisation boundary
+(:mod:`repro.labeling.packed`, :mod:`repro.labeling.storage`).
+
+Construction collects every entry first and sorts each hub run once —
+O(L log L) total — mirroring the append-then-sort fix in
+:func:`repro.labeling.inverted.build_inverted_index`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graph.graph import Graph
+from repro.labeling.packed import PackedLabelIndex
+from repro.types import CategoryId, Cost, Vertex
+
+#: shared empty-slice sentinel for hubs absent from a category
+_EMPTY_SLICE = (0, 0)
+
+
+class PackedInvertedIndex:
+    """One category's inverted label lists as flat parallel buffers."""
+
+    __slots__ = ("category", "dists", "members", "slices", "rank_slices")
+
+    def __init__(
+        self,
+        category: CategoryId,
+        dists: List[Cost],
+        members: List[Vertex],
+        slices: Dict[Vertex, Tuple[int, int]],
+        rank_slices: Dict[int, Tuple[int, int]],
+    ):
+        self.category = category
+        self.dists = dists
+        self.members = members
+        #: hub vertex -> (lo, hi) half-open run into the parallel buffers
+        self.slices = slices
+        #: the same runs keyed by hub *rank* — FindNN cursors probe this
+        #: with ranks straight off the Lout buffer, skipping the
+        #: rank -> vertex translation per label entry
+        self.rank_slices = rank_slices
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_lists(
+        cls,
+        category: CategoryId,
+        lists: Dict[Vertex, List[Tuple[Cost, Vertex]]],
+        hub_ranks: Dict[Vertex, int],
+    ) -> "PackedInvertedIndex":
+        """Flatten hub -> ``(dist, member)`` lists (sorting each run once).
+
+        ``hub_ranks`` maps each hub vertex to its construction-order rank
+        (used to key the rank-indexed view of the runs).
+        """
+        dists: List[Cost] = []
+        members: List[Vertex] = []
+        slices: Dict[Vertex, Tuple[int, int]] = {}
+        rank_slices: Dict[int, Tuple[int, int]] = {}
+        for hub in sorted(lists):
+            run = sorted(lists[hub])
+            lo = len(dists)
+            for d, m in run:
+                dists.append(d)
+                members.append(m)
+            sl = (lo, len(dists))
+            slices[hub] = sl
+            rank_slices[hub_ranks[hub]] = sl
+        return cls(category, dists, members, slices, rank_slices)
+
+    # ------------------------------------------------------------------
+    # Query surface
+    # ------------------------------------------------------------------
+    def hub_slice(self, hub: Vertex) -> Tuple[int, int]:
+        """``(lo, hi)`` run of ``hub`` (``(0, 0)`` when the hub is unused)."""
+        return self.slices.get(hub, _EMPTY_SLICE)
+
+    def hub_list(self, hub: Vertex) -> List[Tuple[Cost, Vertex]]:
+        """Materialise one hub's sorted ``(dist, member)`` list (compat view)."""
+        lo, hi = self.slices.get(hub, _EMPTY_SLICE)
+        return list(zip(self.dists[lo:hi], self.members[lo:hi]))
+
+    def as_lists(self) -> Dict[Vertex, List[Tuple[Cost, Vertex]]]:
+        """Hub -> sorted ``(dist, member)`` lists (the serialisation view)."""
+        return {hub: self.hub_list(hub) for hub in self.slices}
+
+    # ------------------------------------------------------------------
+    # Table IX statistics (same surface as InvertedLabelIndex)
+    # ------------------------------------------------------------------
+    @property
+    def total_entries(self) -> int:
+        """``|IL(Ci)|`` — total label entries in this category's index."""
+        return len(self.members)
+
+    @property
+    def num_hubs(self) -> int:
+        return len(self.slices)
+
+    def average_list_length(self) -> float:
+        """Avg ``|IL(v)|`` per hub — the Table IX statistic."""
+        if not self.slices:
+            return 0.0
+        return len(self.members) / len(self.slices)
+
+
+def build_packed_inverted_index(
+    graph: Graph, labels, category: CategoryId
+) -> PackedInvertedIndex:
+    """Build one category's packed ``IL(Ci)``.
+
+    ``labels`` may be a :class:`~repro.labeling.packed.PackedLabelIndex`
+    (entries read straight off the buffers) or an object
+    :class:`~repro.labeling.labels.LabelIndex`.
+    """
+    lists: Dict[Vertex, List[Tuple[Cost, Vertex]]] = {}
+    hub_ranks: Dict[Vertex, int] = {}
+    if isinstance(labels, PackedLabelIndex):
+        side = labels.lin_side()
+        offsets, ranks, dists = side.offsets, side.hub_ranks, side.dists
+        order = labels.order
+        for member in sorted(graph.members(category)):
+            for i in range(offsets[member], offsets[member + 1]):
+                rank = ranks[i]
+                hub = order[rank]
+                bucket = lists.get(hub)
+                if bucket is None:
+                    bucket = lists[hub] = []
+                    hub_ranks[hub] = rank
+                bucket.append((dists[i], member))
+    else:
+        for member in sorted(graph.members(category)):
+            for entry in labels.lin(member):
+                hub = labels.hub_vertex(entry.hub_rank)
+                bucket = lists.get(hub)
+                if bucket is None:
+                    bucket = lists[hub] = []
+                    hub_ranks[hub] = entry.hub_rank
+                bucket.append((entry.dist, member))
+    return PackedInvertedIndex.from_lists(category, lists, hub_ranks)
+
+
+def build_packed_inverted_indexes(
+    graph: Graph, labels
+) -> Dict[CategoryId, PackedInvertedIndex]:
+    """Packed inverted indexes for every category of the graph."""
+    return {
+        cid: build_packed_inverted_index(graph, labels, cid)
+        for cid in range(graph.num_categories)
+    }

@@ -44,7 +44,12 @@ class CategoryShardStore:
         labels: LabelIndex,
         inverted: Dict[CategoryId, InvertedLabelIndex],
     ) -> None:
-        """Serialise every category shard plus the global vertex-label file."""
+        """Serialise every category shard plus the global vertex-label file.
+
+        ``labels``/``inverted`` may be either backend's representation:
+        both label indexes expose ``lin``/``lout``/``order`` and both
+        inverted indexes expose ``as_lists()``.
+        """
         for cid, il in inverted.items():
             self.write_category(graph, labels, cid, il)
         # Per-vertex labels for arbitrary sources/destinations (the paper
@@ -71,7 +76,7 @@ class CategoryShardStore:
             "version": self.VERSION,
             "category": cid,
             "members": members,
-            "il": {hub: list(entries) for hub, entries in il.lists.items()},
+            "il": {hub: list(entries) for hub, entries in il.as_lists().items()},
             "lout": {v: self._pack(labels.lout(v)) for v in members},
             "lin": {v: self._pack(labels.lin(v)) for v in members},
         }

@@ -19,11 +19,28 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from repro.exceptions import IndexBuildError
 from repro.graph.graph import Graph
 from repro.labeling.inverted import InvertedLabelIndex, build_inverted_indexes
 from repro.labeling.labels import LabelIndex
 from repro.labeling.pll import build_pruned_landmark_labels
 from repro.types import CategoryId, Cost, Vertex
+
+
+def _require_object_inverted(inverted: Dict[CategoryId, InvertedLabelIndex]) -> None:
+    """Fail fast (before any graph mutation) on non-updatable indexes.
+
+    The packed backend's inverted indexes are immutable flat buffers;
+    guarding here keeps graph and index state consistent instead of
+    mutating ``F(v)`` and then crashing mid-update.
+    """
+    for il in inverted.values():
+        if not isinstance(il, InvertedLabelIndex):
+            raise IndexBuildError(
+                "incremental category updates require the object backend's "
+                "InvertedLabelIndex (build the engine with backend=\"object\")"
+            )
+        break
 
 
 def add_vertex_to_category(
@@ -34,6 +51,7 @@ def add_vertex_to_category(
     cid: CategoryId,
 ) -> None:
     """Insert ``cid`` into ``F(v)`` and update ``IL(cid)`` incrementally."""
+    _require_object_inverted(inverted)
     if graph.has_category(v, cid):
         return
     graph.assign_category(v, cid)
@@ -50,6 +68,7 @@ def remove_vertex_from_category(
     cid: CategoryId,
 ) -> None:
     """Remove ``cid`` from ``F(v)`` and update ``IL(cid)`` incrementally."""
+    _require_object_inverted(inverted)
     if not graph.has_category(v, cid):
         return
     graph.unassign_category(v, cid)

@@ -5,7 +5,9 @@ Every KOSR algorithm extends partial witnesses through an oracle answering
 implementations are provided:
 
 * :class:`~repro.nn.label_nn.LabelNNFinder` — the paper's FindNN
-  (Algorithm 3) over the inverted label index;
+  (Algorithm 3) over the object inverted label index;
+* :class:`~repro.nn.label_nn.PackedLabelNNFinder` — the same algorithm
+  over the packed flat-buffer indexes (the default query backend);
 * :class:`~repro.nn.estimated.EstimatedNNFinder` — FindNEN (Algorithm 4),
   ordering neighbors by ``dis(v, u) + dis(u, t)`` for StarKOSR;
 * :class:`~repro.nn.dijkstra_nn.DijkstraNNFinder` — graph-search oracle
@@ -13,13 +15,14 @@ implementations are provided:
 """
 
 from repro.nn.base import NearestNeighborFinder
-from repro.nn.label_nn import LabelNNFinder
+from repro.nn.label_nn import LabelNNFinder, PackedLabelNNFinder
 from repro.nn.dijkstra_nn import DijkstraNNFinder
 from repro.nn.estimated import EstimatedNNFinder
 
 __all__ = [
     "NearestNeighborFinder",
     "LabelNNFinder",
+    "PackedLabelNNFinder",
     "DijkstraNNFinder",
     "EstimatedNNFinder",
 ]

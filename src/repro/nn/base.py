@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.types import CategoryId, Cost, Vertex
 
@@ -32,6 +32,21 @@ class NearestNeighborFinder(ABC):
     @abstractmethod
     def distance(self, s: Vertex, t: Vertex) -> Cost:
         """``dis(s, t)`` (used for the destination leg and the A* heuristic)."""
+
+    def make_estimated(self, estimate, cache=None):
+        """A FindNEN (Algorithm 4) view over this oracle.
+
+        Returns an object answering ``find(source, category, x) ->
+        (member, leg, leg + estimate(member)) | None`` whose NN accounting
+        stays on ``self.queries``.  ``cache`` may pass the caller's
+        ``estimate`` memo (vertex -> estimate) so implementations can skip
+        the call for already-known vertices.  Subclasses may return a
+        fused implementation; the default wraps the generic
+        :class:`~repro.nn.estimated.EstimatedNNFinder`.
+        """
+        from repro.nn.estimated import EstimatedNNFinder
+
+        return EstimatedNNFinder(self, estimate, cache)
 
     def reset_stats(self) -> None:
         self.queries = 0

@@ -39,6 +39,8 @@ class _EstCursor:
         self.exhausted = False
 
 
+
+
 class EstimatedNNFinder:
     """Wraps a :class:`NearestNeighborFinder` with destination-directed order.
 
@@ -53,9 +55,13 @@ class EstimatedNNFinder:
         self,
         finder: NearestNeighborFinder,
         estimate: Callable[[Vertex], Cost],
+        cache: Optional[Dict[Vertex, Cost]] = None,
     ):
         self._finder = finder
         self._estimate = estimate
+        #: optional caller-owned estimate memo, probed before calling
+        #: ``estimate`` (the caller keeps writing it inside ``estimate``)
+        self._cache_get = cache.get if cache is not None else None
         self._cursors: Dict[Tuple[Vertex, CategoryId], _EstCursor] = {}
 
     @property
@@ -84,9 +90,13 @@ class EstimatedNNFinder:
     def _next(
         self, cursor: _EstCursor, source: Vertex, category: CategoryId
     ) -> Optional[Tuple[Vertex, Cost, Cost]]:
+        find = self._finder.find
+        estimate = self._estimate
+        cache_get = self._cache_get
+        enq = cursor.enq
         while True:
             if cursor.ln is None and not cursor.exhausted:
-                res = self._finder.find(source, category, cursor.nn_count + 1)
+                res = find(source, category, cursor.nn_count + 1)
                 if res is None:
                     cursor.exhausted = True
                 else:
@@ -94,16 +104,127 @@ class EstimatedNNFinder:
                     cursor.ln = res
             if cursor.ln is None:
                 break  # NN stream dry; whatever is in ENQ is final
-            if cursor.enq and cursor.ln[1] >= cursor.enq[0][0]:
+            if enq and cursor.ln[1] >= enq[0][0]:
                 break  # every unfetched neighbor's estimate >= heap top
             member, leg = cursor.ln
             cursor.ln = None
-            h = self._estimate(member)
+            h = cache_get(member) if cache_get is not None else None
+            if h is None:
+                h = estimate(member)
             if h != INFINITY:
-                heapq.heappush(cursor.enq, (leg + h, leg, member))
-        if not cursor.enq:
+                heapq.heappush(enq, (leg + h, leg, member))
+        if not enq:
             return None
-        est, leg, member = heapq.heappop(cursor.enq)
+        est, leg, member = heapq.heappop(enq)
         item = (member, leg, est)
         cursor.enl.append(item)
         return item
+
+
+class PackedEstimatedNNFinder:
+    """FindNEN fused onto a :class:`~repro.nn.label_nn.PackedLabelNNFinder`.
+
+    Algorithm, answers, and NN-query accounting are identical to
+    :class:`EstimatedNNFinder` (the parity tests cover both), but each
+    ``(source, category)`` pair runs the whole Algorithm 4 state machine
+    inside one long-lived generator frame: the lookahead neighbor, ENQ,
+    and plain-NN read position live in frame locals, and the inner "fetch
+    the next plain NN" step resumes the packed merge generator directly —
+    no ``find()`` re-entry, no per-call rebinding, no cursor attribute
+    churn.
+    """
+
+    def __init__(self, finder, estimate: Callable[[Vertex], Cost],
+                 cache: Optional[Dict[Vertex, Cost]] = None):
+        self._finder = finder
+        self._estimate = estimate
+        self._cache_get = cache.get if cache is not None else None
+        #: (source, category) -> (ENL list, prebound stream __next__)
+        self._cursors: Dict[Tuple[Vertex, CategoryId], Tuple[list, Callable]] = {}
+
+    @property
+    def queries(self) -> int:
+        return self._finder.queries
+
+    def cursor_entry(self, source: Vertex, category: CategoryId) -> Tuple[list, Callable]:
+        """The ``(ENL, advance)`` pair of one pair-stream (get-or-create).
+
+        ``advance`` is the stream generator's prebound ``__next__``: each
+        call appends one estimated neighbor to the ENL list, raising
+        ``StopIteration`` when no members remain.  Callers may loop on it
+        directly (the query runtime inlines its x-th-neighbor loop this
+        way).
+        """
+        entry = self._cursors.get((source, category))
+        if entry is None:
+            enl: list = []
+            entry = (enl, self._est_stream(source, category, enl).__next__)
+            self._cursors[(source, category)] = entry
+        return entry
+
+    def find(
+        self, source: Vertex, category: CategoryId, x: int
+    ) -> Optional[Tuple[Vertex, Cost, Cost]]:
+        """The ``x``-th member by ``dis(source, ·) + estimate(·)``."""
+        enl, advance = self.cursor_entry(source, category)
+        if x <= len(enl):
+            return enl[x - 1]
+        try:
+            while len(enl) < x:
+                advance()
+        except StopIteration:
+            return None
+        return enl[x - 1]
+
+    def _est_stream(self, source: Vertex, category: CategoryId, enl: list):
+        """Generator appending one estimated neighbor to ``enl`` per resume.
+
+        Finishes (``StopIteration``) when fewer members remain; NN-query
+        counts are folded into the wrapped finder *before* the
+        corresponding yield, so callers always observe them up to date.
+        """
+        finder = self._finder
+        nn_cursor = finder.cursor_for(source, category)
+        nl = nn_cursor.nl
+        gen = nn_cursor.gen
+        nn_advance = gen.__next__ if gen is not None else None
+        estimate = self._estimate
+        cache_get = self._cache_get
+        heappush_, heappop_ = heapq.heappush, heapq.heappop
+        enq: List[Tuple[Cost, Cost, Vertex]] = []
+        ln: Optional[Tuple[Vertex, Cost]] = None
+        nn_count = 0
+        nn_dry = False
+        while True:
+            while True:
+                if ln is None and not nn_dry:
+                    # Inlined finder.find(source, category, nn_count + 1).
+                    nl_len = len(nl)
+                    while nl_len <= nn_count and not nn_cursor.exhausted:
+                        finder.queries += 1
+                        try:
+                            nn_advance()
+                            nl_len += 1
+                        except StopIteration:
+                            pass
+                    if nn_count < nl_len:
+                        ln = nl[nn_count]
+                        nn_count += 1
+                    else:
+                        nn_dry = True
+                if ln is None:
+                    break  # NN stream dry; whatever is in ENQ is final
+                if enq and ln[1] >= enq[0][0]:
+                    break  # every unfetched neighbor's estimate >= heap top
+                member, leg = ln
+                ln = None
+                h = cache_get(member) if cache_get is not None else None
+                if h is None:
+                    h = estimate(member)
+                if h != INFINITY:
+                    heappush_(enq, (leg + h, leg, member))
+            if not enq:
+                return
+            est, leg, member = heappop_(enq)
+            enl.append((member, leg, est))
+            yield

@@ -1,0 +1,175 @@
+"""Backend parity: the packed and object index backends must agree.
+
+The packed backend rewrites every query hot path (merge joins, FindNN
+cursors, FindNEN, the dis(v, t) kernel), so this suite pins it to the
+object reference implementation: identical witnesses, costs, and search
+counters for every method, on several generated graphs, plus structural
+parity of the packed inverted index itself.
+"""
+
+import random
+
+import pytest
+
+from repro import KOSREngine, make_query
+from repro.graph import random_graph
+from repro.graph.categories import assign_uniform_categories
+from repro.labeling.inverted import build_inverted_index
+from repro.labeling.packed_inverted import build_packed_inverted_index
+from repro.labeling.pll import build_pruned_landmark_labels
+
+#: methods that exercise the NN-oracle stack (GSP/GSP-CH are graph-only)
+PAIR_METHODS = ("KPNE", "PK", "SK", "SK-NODOM")
+
+
+def _graph(seed: int, n: int = 40, cats: int = 4, size: int = 7):
+    g = random_graph(n, avg_out_degree=2.8, rng=random.Random(seed))
+    assign_uniform_categories(g, cats, size, random.Random(seed + 1))
+    return g
+
+
+@pytest.fixture(scope="module", params=[11, 23, 57])
+def engines(request):
+    g = _graph(request.param)
+    packed = KOSREngine.build(g, backend="packed")
+    obj = KOSREngine.build(g, backend="object")
+    return g, packed, obj
+
+
+class TestQueryParity:
+    @pytest.mark.parametrize("method", PAIR_METHODS)
+    def test_witnesses_costs_counters_identical(self, engines, method):
+        g, packed, obj = engines
+        rng = random.Random(5)
+        for _ in range(6):
+            s = rng.randrange(g.num_vertices)
+            t = rng.randrange(g.num_vertices)
+            cats = rng.sample(range(g.num_categories), 2)
+            q = make_query(g, s, t, cats, k=4)
+            a = packed.run(q, method=method)
+            b = obj.run(q, method=method)
+            assert a.witnesses == b.witnesses
+            assert a.costs == pytest.approx(b.costs)
+            assert a.stats.examined_routes == b.stats.examined_routes
+            assert a.stats.generated_routes == b.stats.generated_routes
+            assert a.stats.nn_queries == b.stats.nn_queries
+            assert a.stats.dominated_routes == b.stats.dominated_routes
+            assert a.stats.reconsidered_routes == b.stats.reconsidered_routes
+
+    def test_parity_with_profile_enabled(self, engines):
+        """Profiling must not change answers on either backend."""
+        g, packed, obj = engines
+        q = make_query(g, 0, g.num_vertices - 1, [0, 1], k=3)
+        base = obj.run(q, method="SK")
+        for engine in (packed, obj):
+            profiled = engine.run(q, method="SK", profile=True)
+            assert profiled.witnesses == base.witnesses
+            assert profiled.stats.nn_queries == base.stats.nn_queries
+
+    def test_gsp_unaffected_by_backend(self, engines):
+        g, packed, obj = engines
+        q = make_query(g, 0, g.num_vertices - 1, [0, 1], k=1)
+        assert packed.run(q, method="GSP").costs == pytest.approx(
+            obj.run(q, method="GSP").costs
+        )
+
+    def test_route_restoration_identical(self, engines):
+        g, packed, obj = engines
+        q = make_query(g, 0, g.num_vertices - 1, [0, 1], k=2)
+        a = packed.run(q, method="SK", restore_routes=True)
+        b = obj.run(q, method="SK", restore_routes=True)
+        for ra, rb in zip(a.results, b.results):
+            assert (ra.route is None) == (rb.route is None)
+            if ra.route is not None:
+                assert ra.route.vertices == rb.route.vertices
+                assert ra.route.cost == pytest.approx(rb.route.cost)
+
+    def test_sk_db_from_packed_engine(self, engines, tmp_path):
+        """attach_disk_store must serialise the packed indexes correctly."""
+        g, packed, _ = engines
+        packed.attach_disk_store(tmp_path)
+        q = make_query(g, 0, g.num_vertices - 1, [0, 1, 2], k=3)
+        assert packed.run(q, method="SK-DB").costs == pytest.approx(
+            packed.run(q, method="SK").costs
+        )
+
+    def test_dij_backend_matches_label_on_packed_engine(self, engines):
+        g, packed, _ = engines
+        q = make_query(g, 0, g.num_vertices - 1, [0, 1], k=3)
+        assert packed.run(q, method="PK", nn_backend="dij-restart").costs == \
+            pytest.approx(packed.run(q, method="PK").costs)
+
+
+class TestPackedInvertedParity:
+    @pytest.fixture(scope="class")
+    def case(self):
+        g = _graph(91)
+        labels = build_pruned_landmark_labels(g)
+        return g, labels
+
+    def test_hub_lists_identical(self, case):
+        g, labels = case
+        for cid in range(g.num_categories):
+            obj = build_inverted_index(g, labels, cid)
+            packed = build_packed_inverted_index(g, labels, cid)
+            assert set(packed.slices) == set(obj.lists)
+            for hub, entries in obj.lists.items():
+                assert packed.hub_list(hub) == entries
+            assert packed.as_lists() == obj.as_lists()
+
+    def test_statistics_identical(self, case):
+        g, labels = case
+        for cid in range(g.num_categories):
+            obj = build_inverted_index(g, labels, cid)
+            packed = build_packed_inverted_index(g, labels, cid)
+            assert packed.total_entries == obj.total_entries
+            assert packed.num_hubs == obj.num_hubs
+            assert packed.average_list_length() == pytest.approx(
+                obj.average_list_length()
+            )
+
+    def test_runs_sorted_and_consistent(self, case):
+        g, labels = case
+        packed = build_packed_inverted_index(g, labels, 0)
+        for hub, (lo, hi) in packed.slices.items():
+            assert 0 <= lo < hi <= len(packed.members)
+            run = list(zip(packed.dists[lo:hi], packed.members[lo:hi]))
+            assert run == sorted(run)
+        # rank-keyed view mirrors the vertex-keyed one
+        assert sorted(packed.rank_slices.values()) == sorted(packed.slices.values())
+
+    def test_unknown_hub_is_empty(self, case):
+        g, labels = case
+        packed = build_packed_inverted_index(g, labels, 0)
+        assert packed.hub_slice(10 ** 9) == (0, 0)
+        assert packed.hub_list(10 ** 9) == []
+
+
+class TestUpdatesRequireObjectBackend:
+    def test_update_on_packed_engine_fails_fast_without_mutation(self):
+        from repro.exceptions import IndexBuildError
+        from repro.labeling.updates import add_vertex_to_category
+
+        g = _graph(77)
+        engine = KOSREngine.build(g)  # packed default
+        victim = next(v for v in range(g.num_vertices)
+                      if not g.has_category(v, 0))
+        with pytest.raises(IndexBuildError, match="object"):
+            add_vertex_to_category(g, engine.labels, engine.inverted, victim, 0)
+        # The guard fires before F(v) is touched.
+        assert not g.has_category(victim, 0)
+
+    def test_update_on_object_engine_still_works(self):
+        from repro.labeling.updates import (
+            add_vertex_to_category,
+            remove_vertex_from_category,
+        )
+
+        g = _graph(77)
+        engine = KOSREngine.build(g, backend="object")
+        victim = next(v for v in range(g.num_vertices)
+                      if not g.has_category(v, 0))
+        add_vertex_to_category(g, engine.labels, engine.inverted, victim, 0)
+        assert g.has_category(victim, 0)
+        remove_vertex_from_category(g, engine.labels, engine.inverted, victim, 0)
+        assert not g.has_category(victim, 0)
