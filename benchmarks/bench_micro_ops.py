@@ -23,6 +23,7 @@ import random
 import pytest
 
 from benchmarks._shared import emit_json, representative_query
+from repro import KOSREngine
 from repro.ch import build_ch, ch_distance
 from repro.experiments import datasets as ds
 from repro.experiments.workload import random_queries
@@ -195,3 +196,99 @@ def test_sk_query_packed_speedup(fla_engine, fla_object_engine):
     # measured ratio on an idle machine is ~1.8-2.2x; the emitted JSON
     # carries this run's value for the perf trajectory.
     assert speedup > 1.0
+
+
+# ----------------------------------------------------------------------
+# Delta overlay: dynamic updates on the packed backend.
+# ----------------------------------------------------------------------
+
+def test_micro_category_update_packed_overlay(benchmark, fla_engine):
+    """One category insert+removal pair through the delta overlay.
+
+    Each iteration is net-zero on the shared graph/index state; the
+    occasional threshold compaction is part of the amortised cost being
+    measured.
+    """
+    g = fla_engine.graph
+    engine = KOSREngine.from_labels(g, fla_engine.labels)
+    outsider = next(v for v in range(g.num_vertices)
+                    if not g.has_category(v, 0))
+
+    def kernel():
+        engine.add_vertex_to_category(outsider, 0)
+        engine.remove_vertex_from_category(outsider, 0)
+
+    benchmark(kernel)
+
+
+def test_micro_category_update_object(benchmark, fla_object_engine):
+    """Object-backend twin of the overlay update kernel (insort/remove)."""
+    g = fla_object_engine.graph
+    outsider = next(v for v in range(g.num_vertices)
+                    if not g.has_category(v, 0))
+
+    def kernel():
+        fla_object_engine.add_vertex_to_category(outsider, 0)
+        fla_object_engine.remove_vertex_from_category(outsider, 0)
+
+    benchmark(kernel)
+
+
+def test_sk_query_overlay_empty_cost(fla_engine):
+    """Empty-overlay query cost vs the static packed path; persisted.
+
+    The dynamic engine first absorbs an update burst through its
+    overlays, then compacts back to an empty overlay; its queries must
+    run within noise of the never-updated engine, because the two then
+    execute the identical buffer-scan hot path (the overlay costs one
+    boolean check per cursor creation).
+    """
+    g = fla_engine.graph
+    dynamic = KOSREngine.from_labels(g, fla_engine.labels)
+    touched = []
+    for cid in range(min(4, g.num_categories)):
+        outsider = next(v for v in range(g.num_vertices)
+                        if not g.has_category(v, cid))
+        dynamic.add_vertex_to_category(outsider, cid)
+        touched.append((outsider, cid))
+    for outsider, cid in touched:
+        dynamic.remove_vertex_from_category(outsider, cid)
+    dynamic.compact()
+    assert not any(il.dirty for il in dynamic.inverted.values())
+
+    workload = random_queries(g, 3, ds.DEFAULT_C_LEN, ds.DEFAULT_K, seed=131)
+
+    def once(engine):
+        t0 = time.perf_counter()
+        results = [engine.run(q, method="SK") for q in workload]
+        return time.perf_counter() - t0, results
+
+    once(fla_engine)      # warm both engines
+    once(dynamic)
+    static_times, dynamic_times = [], []
+    for _ in range(7):
+        t_s, static_res = once(fla_engine)
+        t_d, dynamic_res = once(dynamic)
+        static_times.append(t_s)
+        dynamic_times.append(t_d)
+
+    for a, b in zip(static_res, dynamic_res):
+        assert a.costs == b.costs
+        assert a.witnesses == b.witnesses
+        assert a.stats.nn_queries == b.stats.nn_queries
+
+    t_static, t_dynamic = min(static_times), min(dynamic_times)
+    ratio = t_dynamic / t_static
+    emit_json("bench_micro_overlay_empty_cost", {
+        "workload": {"dataset": "FLA", "queries": len(workload),
+                     "k": ds.DEFAULT_K, "c_len": ds.DEFAULT_C_LEN},
+        "static_packed_ms": 1000.0 * t_static,
+        "empty_overlay_ms": 1000.0 * t_dynamic,
+        "ratio": ratio,
+        "update_burst": {"categories_touched": len(touched),
+                         "ops": 2 * len(touched)},
+    })
+    print(f"\nSK empty-overlay: static {t_static * 1000:.1f} ms, "
+          f"post-update+compact {t_dynamic * 1000:.1f} ms -> {ratio:.3f}x")
+    # Identical hot path; generous bound for CI noise only.
+    assert ratio < 1.25

@@ -79,7 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
     qry.add_argument("--method", default="SK", choices=list(METHODS))
     qry.add_argument("--nn-backend", default="label", choices=list(NN_BACKENDS))
     qry.add_argument("--backend", default="packed", choices=list(BACKENDS),
-                     help="index backend (packed = flat buffers, default)")
+                     help="index backend (packed = flat buffers, default; "
+                          "both support dynamic category updates)")
+    qry.add_argument("--overlay-ratio", type=float, default=None,
+                     help="packed backend only: fraction of live inverted "
+                          "entries the delta overlay may reach before a "
+                          "category's buffers are compacted")
     qry.add_argument("--budget", type=int, default=None,
                      help="examined-route cap (reports INF when hit)")
     qry.add_argument("--routes", action="store_true",
@@ -152,12 +157,14 @@ def cmd_preprocess(args) -> int:
 def _make_engine(args):
     graph = _load_graph(args.graph)
     backend = getattr(args, "backend", "packed")
+    overlay_ratio = getattr(args, "overlay_ratio", None)
     if args.index:
         labels_path = Path(args.index) / "labels.bin"
         packed = PackedLabelIndex.load(labels_path)
         engine = KOSREngine.from_labels(graph, packed,
                                         name=Path(args.graph).stem,
-                                        backend=backend)
+                                        backend=backend,
+                                        overlay_ratio=overlay_ratio)
         shards = Path(args.index) / "shards"
         if shards.exists():
             from repro.labeling.storage import CategoryShardStore
@@ -167,7 +174,8 @@ def _make_engine(args):
     if args.method == "SK-DB":
         raise SystemExit("SK-DB needs --index (run `preprocess` first)")
     if args.nn_backend == "label" and args.method not in ("GSP", "GSP-CH"):
-        return KOSREngine.build(graph, backend=backend)
+        return KOSREngine.build(graph, backend=backend,
+                                overlay_ratio=overlay_ratio)
     return KOSREngine(graph)
 
 

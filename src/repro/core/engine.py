@@ -21,11 +21,13 @@ Two interchangeable *index backends* exist (``BACKENDS``):
 * ``"packed"`` (default) — flat-buffer label and inverted indexes
   (:class:`~repro.labeling.packed.PackedLabelIndex`,
   :class:`~repro.labeling.packed_inverted.PackedInvertedIndex`); every
-  query hot path is index arithmetic over parallel buffers.
+  query hot path is index arithmetic over parallel buffers.  Dynamic
+  category updates go through a per-category delta overlay that queries
+  lazily fold in (see :meth:`KOSREngine.add_vertex_to_category` /
+  :meth:`KOSREngine.compact`).
 * ``"object"`` — per-entry :class:`~repro.labeling.labels.LabelEntry`
   objects and dict-of-tuple-list inverted indexes; kept as the reference
-  implementation and for incremental category updates
-  (:mod:`repro.labeling.updates`).
+  implementation (updates patch its sorted lists in place).
 
 Both return bit-identical results (asserted by the backend-parity tests);
 pick with ``KOSREngine.build(graph, backend=...)``.
@@ -45,6 +47,7 @@ from repro.core.star import star_kosr
 from repro.core.stats import PreprocessingStats, QueryStats
 from repro.exceptions import QueryError
 from repro.graph.graph import Graph
+from repro.labeling import updates as _updates
 from repro.labeling.inverted import InvertedLabelIndex, build_inverted_indexes
 from repro.labeling.labels import LabelIndex
 from repro.labeling.packed import PackedLabelIndex
@@ -67,9 +70,9 @@ METHODS = ("KPNE", "PK", "SK", "SK-NODOM", "SK-DB", "GSP", "GSP-CH")
 #: "dij-resume" = resumable Dijkstra cursors (ablation).
 NN_BACKENDS = ("label", "dij-restart", "dij-resume")
 
-#: Index backends: "packed" = flat parallel buffers (default, fastest);
-#: "object" = per-entry LabelEntry objects (reference implementation,
-#: required for incremental category updates).
+#: Index backends: "packed" = flat parallel buffers (default, fastest,
+#: dynamic via delta overlays); "object" = per-entry LabelEntry objects
+#: (reference implementation).
 BACKENDS = ("packed", "object")
 
 
@@ -108,6 +111,9 @@ class KOSREngine:
         self.backend = backend
         self._store: Optional[CategoryShardStore] = None
         self._ch = None
+        #: build-time compaction-threshold override, re-applied when
+        #: structure updates rebuild the inverted indexes
+        self._overlay_ratio: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -128,6 +134,13 @@ class KOSREngine:
         lengths = [il.average_list_length() for il in inverted.values() if il.num_hubs]
         stats.avg_il_list_length = (sum(lengths) / len(lengths)) if lengths else 0.0
 
+    @staticmethod
+    def _apply_overlay_ratio(inverted, overlay_ratio: Optional[float]) -> None:
+        if overlay_ratio is None:
+            return
+        for il in inverted.values():
+            il.overlay_ratio = overlay_ratio
+
     @classmethod
     def build(
         cls,
@@ -135,6 +148,7 @@ class KOSREngine:
         order: Optional[Sequence[Vertex]] = None,
         name: str = "",
         backend: str = "packed",
+        overlay_ratio: Optional[float] = None,
     ) -> "KOSREngine":
         """Build hub labels and inverted indexes, recording Table IX stats.
 
@@ -143,7 +157,10 @@ class KOSREngine:
         parallel buffers and serves queries without materialising
         per-entry objects; ``"object"`` keeps the per-entry
         :class:`~repro.labeling.labels.LabelEntry` representation.  Both
-        backends return identical results.
+        backends return identical results.  ``overlay_ratio`` overrides
+        the packed backend's per-category compaction threshold (the
+        fraction of live entries the delta overlay may reach before a
+        category's buffers are rebuilt).
         """
         cls._check_backend(backend)
         stats = PreprocessingStats(
@@ -162,11 +179,14 @@ class KOSREngine:
         t0 = time.perf_counter()
         if backend == "packed":
             inverted = build_packed_inverted_indexes(graph, labels)
+            cls._apply_overlay_ratio(inverted, overlay_ratio)
         else:
             inverted = build_inverted_indexes(graph, labels)
         stats.inverted_build_seconds = time.perf_counter() - t0
         cls._inverted_stats(stats, inverted)
-        return cls(graph, labels, inverted, stats, backend=backend)
+        engine = cls(graph, labels, inverted, stats, backend=backend)
+        engine._overlay_ratio = overlay_ratio
+        return engine
 
     @classmethod
     def from_labels(
@@ -175,6 +195,7 @@ class KOSREngine:
         labels: Union[LabelIndex, PackedLabelIndex],
         name: str = "",
         backend: str = "packed",
+        overlay_ratio: Optional[float] = None,
     ) -> "KOSREngine":
         """Assemble an engine from prebuilt labels (rebuilds only the
         inverted indexes).
@@ -204,11 +225,73 @@ class KOSREngine:
         t0 = time.perf_counter()
         if backend == "packed":
             inverted = build_packed_inverted_indexes(graph, labels)
+            cls._apply_overlay_ratio(inverted, overlay_ratio)
         else:
             inverted = build_inverted_indexes(graph, labels)
         stats.inverted_build_seconds = time.perf_counter() - t0
         cls._inverted_stats(stats, inverted)
-        return cls(graph, labels, inverted, stats, backend=backend)
+        engine = cls(graph, labels, inverted, stats, backend=backend)
+        engine._overlay_ratio = overlay_ratio
+        return engine
+
+    # ------------------------------------------------------------------
+    # Dynamic updates (Sec. IV-C)
+    # ------------------------------------------------------------------
+    def add_vertex_to_category(self, v: Vertex, cid: CategoryId) -> None:
+        """Insert ``cid`` into ``F(v)``, patching this backend's ``IL(cid)``.
+
+        Works on both backends: the object backend binary-inserts into
+        its sorted hub lists; the packed backend stages the deltas in the
+        category's overlay (folded in lazily by the next queries,
+        compacted automatically past ``overlay_ratio``).  Any attached
+        disk store is detached — its shards no longer reflect the
+        indexes (re-run :meth:`attach_disk_store` to refresh them).
+        """
+        self._require_indexes()
+        _updates.add_vertex_to_category(
+            self.graph, self.labels, self.inverted, v, cid)
+        self._store = None
+
+    def remove_vertex_from_category(self, v: Vertex, cid: CategoryId) -> None:
+        """Remove ``cid`` from ``F(v)`` (symmetric to the insert)."""
+        self._require_indexes()
+        _updates.remove_vertex_from_category(
+            self.graph, self.labels, self.inverted, v, cid)
+        self._store = None
+
+    def update_edge(self, u: Vertex, v: Vertex, weight: Optional[float],
+                    order: Optional[Sequence[Vertex]] = None) -> None:
+        """Apply one edge insert/change/delete (``weight=None`` deletes).
+
+        Rebuilds labels and inverted indexes in this engine's own backend
+        representation — a packed engine stays packed and keeps its
+        build-time ``overlay_ratio``.  The cached CH and any attached
+        disk store are dropped (both stale after a structure change).
+        """
+        self._require_indexes()
+        self.labels, self.inverted = _updates.update_edge(
+            self.graph, u, v, weight, order, backend=self.backend)
+        if self.backend == "packed":
+            self._apply_overlay_ratio(self.inverted, self._overlay_ratio)
+        self._ch = None
+        self._store = None
+
+    def compact(self) -> None:
+        """Fold every category's delta overlay in and drop buffer garbage.
+
+        Only meaningful on the packed backend (a no-op otherwise); query
+        results are unchanged.  Call it after an update burst to return
+        to the garbage-free flat-buffer layout instead of waiting for the
+        per-category ``overlay_ratio`` trigger.
+        """
+        if self.inverted:
+            for il in self.inverted.values():
+                if hasattr(il, "compact"):
+                    il.compact()
+
+    def _require_indexes(self) -> None:
+        if self.labels is None or self.inverted is None:
+            raise QueryError("dynamic updates require built indexes; call build()")
 
     def attach_disk_store(self, path) -> CategoryShardStore:
         """Serialise the indexes to ``path`` and enable the SK-DB method."""

@@ -13,7 +13,9 @@
   ("packed") query backend operates on these without materialising
   per-entry objects.
 * :mod:`repro.labeling.storage` — disk-resident per-category shards (SK-DB).
-* :mod:`repro.labeling.updates` — dynamic category updates (Sec. IV-C).
+* :mod:`repro.labeling.updates` — dynamic category/structure updates
+  (Sec. IV-C) for both backends; the packed backend absorbs category
+  updates through per-category delta overlays with threshold compaction.
 """
 
 from repro.labeling.labels import LabelEntry, LabelIndex
@@ -32,7 +34,12 @@ from repro.labeling.packed_inverted import (
     build_packed_inverted_indexes,
 )
 from repro.labeling.storage import CategoryShardStore, DiskLabelRepository
-from repro.labeling.updates import add_vertex_to_category, remove_vertex_from_category
+from repro.labeling.updates import (
+    add_vertex_to_category,
+    rebuild_after_structure_update,
+    remove_vertex_from_category,
+    update_edge,
+)
 
 __all__ = [
     "LabelEntry",
@@ -53,4 +60,6 @@ __all__ = [
     "DiskLabelRepository",
     "add_vertex_to_category",
     "remove_vertex_from_category",
+    "rebuild_after_structure_update",
+    "update_edge",
 ]

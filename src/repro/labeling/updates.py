@@ -9,89 +9,141 @@ which it spells out concretely:
   ``IL(u) ∈ IL(Ci)`` — ``O(|Lin(v)| log |Ci|)``;
 * removing: the symmetric deletion.
 
+Both index backends are updatable: the object backend patches its sorted
+hub lists in place (``insort``/``remove``), while the packed backend
+stages the same ``(hub, dist, vertex)`` deltas in the per-category
+overlay of :class:`~repro.labeling.packed_inverted.PackedInvertedIndex`
+(lazily merged into the flat buffers by query cursors, compacted once
+the overlay outgrows its ``overlay_ratio``).
+
 For structure updates we provide the honest fallback the paper's citations
 amount to for a from-scratch reproduction: rebuild the labels (and the
-affected inverted indexes).  The rebuild helper keeps graph, labels, and
-inverted indexes consistent in one call.
+affected inverted indexes) for whichever backend the caller runs.  The
+rebuild helper keeps graph, labels, and inverted indexes consistent in
+one call.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Union
 
 from repro.exceptions import IndexBuildError
 from repro.graph.graph import Graph
 from repro.labeling.inverted import InvertedLabelIndex, build_inverted_indexes
 from repro.labeling.labels import LabelIndex
-from repro.labeling.pll import build_pruned_landmark_labels
+from repro.labeling.packed import PackedLabelIndex
+from repro.labeling.packed_inverted import (
+    PackedInvertedIndex,
+    build_packed_inverted_indexes,
+)
 from repro.types import CategoryId, Cost, Vertex
 
+#: either backend's inverted-index mapping
+InvertedMap = Dict[CategoryId, Union[InvertedLabelIndex, PackedInvertedIndex]]
 
-def _require_object_inverted(inverted: Dict[CategoryId, InvertedLabelIndex]) -> None:
+
+def _check_updatable(inverted: InvertedMap) -> None:
     """Fail fast (before any graph mutation) on non-updatable indexes.
 
-    The packed backend's inverted indexes are immutable flat buffers;
-    guarding here keeps graph and index state consistent instead of
-    mutating ``F(v)`` and then crashing mid-update.
+    Every category's index is inspected — not just the first — so a
+    mapping polluted with a foreign type anywhere fails before ``F(v)``
+    or any sibling index is touched, keeping graph and index state
+    consistent.
     """
     for il in inverted.values():
-        if not isinstance(il, InvertedLabelIndex):
+        if not isinstance(il, (InvertedLabelIndex, PackedInvertedIndex)):
             raise IndexBuildError(
-                "incremental category updates require the object backend's "
-                "InvertedLabelIndex (build the engine with backend=\"object\")"
+                "incremental category updates require InvertedLabelIndex or "
+                f"PackedInvertedIndex values, got {type(il).__name__!r}"
             )
-        break
+
+
+def _new_category_index(
+    inverted: InvertedMap, labels, cid: CategoryId
+) -> Union[InvertedLabelIndex, PackedInvertedIndex]:
+    """An empty index of the same backend as its siblings (or the labels)."""
+    for il in inverted.values():
+        if isinstance(il, PackedInvertedIndex):
+            fresh = PackedInvertedIndex.empty(cid)
+            fresh.overlay_ratio = il.overlay_ratio
+            return fresh
+        return InvertedLabelIndex(cid)
+    if isinstance(labels, PackedLabelIndex):
+        return PackedInvertedIndex.empty(cid)
+    return InvertedLabelIndex(cid)
 
 
 def add_vertex_to_category(
     graph: Graph,
-    labels: LabelIndex,
-    inverted: Dict[CategoryId, InvertedLabelIndex],
+    labels: Union[LabelIndex, PackedLabelIndex],
+    inverted: InvertedMap,
     v: Vertex,
     cid: CategoryId,
 ) -> None:
     """Insert ``cid`` into ``F(v)`` and update ``IL(cid)`` incrementally."""
-    _require_object_inverted(inverted)
+    _check_updatable(inverted)
     if graph.has_category(v, cid):
         return
     graph.assign_category(v, cid)
-    il = inverted.setdefault(cid, InvertedLabelIndex(cid))
-    for entry in labels.lin(v):
-        il.add_entry(labels.hub_vertex(entry.hub_rank), entry.dist, v)
+    il = inverted.get(cid)
+    if il is None:
+        il = inverted[cid] = _new_category_index(inverted, labels, cid)
+    if isinstance(il, PackedInvertedIndex):
+        for entry in labels.lin(v):
+            il.overlay_insert(labels.hub_vertex(entry.hub_rank),
+                              entry.hub_rank, entry.dist, v)
+        il.maybe_compact()
+    else:
+        for entry in labels.lin(v):
+            il.add_entry(labels.hub_vertex(entry.hub_rank), entry.dist, v)
 
 
 def remove_vertex_from_category(
     graph: Graph,
-    labels: LabelIndex,
-    inverted: Dict[CategoryId, InvertedLabelIndex],
+    labels: Union[LabelIndex, PackedLabelIndex],
+    inverted: InvertedMap,
     v: Vertex,
     cid: CategoryId,
 ) -> None:
     """Remove ``cid`` from ``F(v)`` and update ``IL(cid)`` incrementally."""
-    _require_object_inverted(inverted)
+    _check_updatable(inverted)
     if not graph.has_category(v, cid):
         return
     graph.unassign_category(v, cid)
     il = inverted.get(cid)
     if il is None:
         return
-    for entry in labels.lin(v):
-        il.remove_member(labels.hub_vertex(entry.hub_rank), entry.dist, v)
+    if isinstance(il, PackedInvertedIndex):
+        for entry in labels.lin(v):
+            il.overlay_remove(labels.hub_vertex(entry.hub_rank),
+                              entry.hub_rank, entry.dist, v)
+        il.maybe_compact()
+    else:
+        for entry in labels.lin(v):
+            il.remove_member(labels.hub_vertex(entry.hub_rank), entry.dist, v)
 
 
 def rebuild_after_structure_update(
     graph: Graph,
     order: Optional[Sequence[Vertex]] = None,
+    backend: str = "object",
 ) -> tuple:
     """Rebuild labels + inverted indexes after edge insertions/removals.
 
-    Returns ``(labels, inverted)``.  The paper handles structure updates with
-    incremental label maintenance from the literature; a full rebuild gives
-    identical final state (tests assert this) at higher preprocessing cost.
+    Returns ``(labels, inverted)`` in the requested backend's
+    representation — packed engines get flat-buffer indexes back directly
+    instead of erroring or falling back to object ones.  The paper
+    handles structure updates with incremental label maintenance from the
+    literature; a full rebuild gives identical final state (tests assert
+    this) at higher preprocessing cost.
     """
-    labels = build_pruned_landmark_labels(graph, order)
-    inverted = build_inverted_indexes(graph, labels)
-    return labels, inverted
+    from repro.labeling.pll_unweighted import build_labels_auto
+
+    labels = build_labels_auto(graph, order)
+    if backend == "packed":
+        packed = PackedLabelIndex.from_index(labels)
+        return packed, build_packed_inverted_indexes(graph, packed)
+    return labels, build_inverted_indexes(graph, labels)
 
 
 def update_edge(
@@ -100,11 +152,14 @@ def update_edge(
     v: Vertex,
     weight: Optional[Cost],
     order: Optional[Sequence[Vertex]] = None,
+    backend: str = "object",
 ) -> tuple:
     """Apply one edge update (insert/change with a weight, delete with ``None``)
     and return freshly consistent ``(labels, inverted)``.
 
-    Weight changes are the paper's remove-insert pair.
+    Weight changes are the paper's remove-insert pair.  ``backend``
+    selects the representation of the rebuilt indexes (see
+    :func:`rebuild_after_structure_update`).
     """
     if weight is None:
         graph.remove_edge(u, v)
@@ -112,4 +167,4 @@ def update_edge(
         if graph.has_edge(u, v):
             graph.remove_edge(u, v)
         graph.add_edge(u, v, weight)
-    return rebuild_after_structure_update(graph, order)
+    return rebuild_after_structure_update(graph, order, backend)

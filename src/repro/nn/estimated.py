@@ -132,6 +132,12 @@ class PackedEstimatedNNFinder:
     the next plain NN" step resumes the packed merge generator directly —
     no ``find()`` re-entry, no per-call rebinding, no cursor attribute
     churn.
+
+    Delta-overlay category updates need no handling here: the underlying
+    plain-NN cursor obtained via ``cursor_for`` patches any dirty hub
+    runs at creation, so this wrapper streams the already-merged order.
+    The snapshot contract matches the plain finder's — create a fresh
+    finder after updates, never update mid-enumeration.
     """
 
     def __init__(self, finder, estimate: Callable[[Vertex], Cost],

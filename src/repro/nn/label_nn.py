@@ -177,6 +177,13 @@ class PackedLabelNNFinder(NearestNeighborFinder):
     :class:`LabelNNFinder`, but every inner-loop step is index arithmetic
     over flat buffers: no ``LabelEntry`` objects, no per-step hub-list
     dict lookups, no ``(dist, member)`` tuple unpacking.
+
+    Dynamic category updates land in the inverted indexes' delta
+    overlays; cursors fold any relevant deltas in at creation time
+    (see :meth:`_make_cursor`).  Like the object finder, whose cursors
+    read the live hub lists, a finder snapshots index state as of each
+    cursor's creation — apply updates between queries (the engine builds
+    a fresh finder per query), not while a finder is mid-enumeration.
     """
 
     def __init__(
@@ -287,10 +294,20 @@ class PackedLabelNNFinder(NearestNeighborFinder):
         return pairs
 
     def _make_cursor(self, source: Vertex, category: CategoryId) -> _PackedCursor:
-        """Algorithm 3 lines 6-10: seed NQ with each hub run's head."""
+        """Algorithm 3 lines 6-10: seed NQ with each hub run's head.
+
+        When the category carries delta-overlay updates, any dirty hub
+        run this cursor is about to scan is patched (overlay merged into
+        the flat buffers, slices repointed) *before* seeding, so the
+        merge loop itself never sees the overlay.  With an empty overlay
+        — the common serving case — this costs one boolean check per
+        cursor creation and nothing per advance.
+        """
         cursor = _PackedCursor()
         self._cursors[(source, category)] = cursor
         pinv = self._inverted.get(category)
+        if pinv is not None and pinv.dirty:
+            pinv.patch_ranks(self._hub_pairs(source)[0])
         if pinv is not None and pinv.members:
             idists = cursor.idists = pinv.dists
             imembers = cursor.imembers = pinv.members

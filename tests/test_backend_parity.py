@@ -145,31 +145,118 @@ class TestPackedInvertedParity:
         assert packed.hub_list(10 ** 9) == []
 
 
-class TestUpdatesRequireObjectBackend:
-    def test_update_on_packed_engine_fails_fast_without_mutation(self):
-        from repro.exceptions import IndexBuildError
-        from repro.labeling.updates import add_vertex_to_category
+class TestPostUpdateParity:
+    """Both backends stay bit-identical *after* dynamic updates.
 
-        g = _graph(77)
-        engine = KOSREngine.build(g)  # packed default
-        victim = next(v for v in range(g.num_vertices)
-                      if not g.has_category(v, 0))
-        with pytest.raises(IndexBuildError, match="object"):
-            add_vertex_to_category(g, engine.labels, engine.inverted, victim, 0)
-        # The guard fires before F(v) is touched.
-        assert not g.has_category(victim, 0)
+    The packed engine absorbs category updates through its delta
+    overlays; the object engine patches its sorted lists in place.  The
+    graph is shared, so the object index is patched through the
+    module-level helpers on pre-restored ``F(v)`` state.
+    """
 
-    def test_update_on_object_engine_still_works(self):
+    def _twin_engines(self, seed=77):
+        g = _graph(seed)
+        return g, KOSREngine.build(g), KOSREngine.build(g, backend="object")
+
+    def _assert_parity(self, g, packed, obj, rng, rounds=6):
+        for _ in range(rounds):
+            s = rng.randrange(g.num_vertices)
+            t = rng.randrange(g.num_vertices)
+            cats = rng.sample(range(g.num_categories), 2)
+            for method in ("SK", "PK"):
+                q = make_query(g, s, t, cats, k=3)
+                a = packed.run(q, method=method)
+                b = obj.run(q, method=method)
+                assert a.witnesses == b.witnesses
+                assert a.costs == pytest.approx(b.costs)
+                assert a.stats.nn_queries == b.stats.nn_queries
+                assert a.stats.examined_routes == b.stats.examined_routes
+
+    def test_parity_after_category_insert_and_remove(self):
         from repro.labeling.updates import (
             add_vertex_to_category,
             remove_vertex_from_category,
         )
 
-        g = _graph(77)
-        engine = KOSREngine.build(g, backend="object")
+        g, packed, obj = self._twin_engines()
+        outsider = next(v for v in range(g.num_vertices)
+                        if not g.has_category(v, 0))
+        packed.add_vertex_to_category(outsider, 0)
+        assert g.has_category(outsider, 0)
+        # graph flag already set; patch the object index directly
+        g.unassign_category(outsider, 0)
+        add_vertex_to_category(g, obj.labels, obj.inverted, outsider, 0)
+        self._assert_parity(g, packed, obj, random.Random(3))
+
+        member = sorted(g.members(1))[0]
+        packed.remove_vertex_from_category(member, 1)
+        g.assign_category(member, 1)
+        remove_vertex_from_category(g, obj.labels, obj.inverted, member, 1)
+        self._assert_parity(g, packed, obj, random.Random(4))
+
+        # Table IX statistics stay in lockstep too.
+        for cid in range(g.num_categories):
+            assert packed.inverted[cid].total_entries == \
+                obj.inverted[cid].total_entries
+            assert packed.inverted[cid].num_hubs == obj.inverted[cid].num_hubs
+
+    def test_parity_after_edge_update_stays_packed(self):
+        from repro.labeling.packed import PackedLabelIndex
+
+        g, packed, _ = self._twin_engines(78)
+        packed.update_edge(0, g.num_vertices - 1, 0.75)
+        assert isinstance(packed.labels, PackedLabelIndex)
+        obj = KOSREngine.build(g, backend="object")
+        self._assert_parity(g, packed, obj, random.Random(5))
+
+    def test_compact_preserves_results(self):
+        g, packed, obj = self._twin_engines(79)
+        outsider = next(v for v in range(g.num_vertices)
+                        if not g.has_category(v, 0))
+        packed.add_vertex_to_category(outsider, 0)
+        q = make_query(g, 0, g.num_vertices - 1, [0, 1], k=3)
+        before = packed.run(q, method="SK")
+        packed.compact()
+        after = packed.run(q, method="SK")
+        assert before.witnesses == after.witnesses
+        assert before.costs == after.costs
+        assert not packed.inverted[0].dirty
+
+    def test_updates_detach_stale_disk_store(self, tmp_path):
+        """SK-DB must not silently serve pre-update shards."""
+        from repro.exceptions import QueryError
+
+        g, packed, _ = self._twin_engines(83)
+        packed.attach_disk_store(tmp_path)
+        outsider = next(v for v in range(g.num_vertices)
+                        if not g.has_category(v, 0))
+        packed.add_vertex_to_category(outsider, 0)
+        q = make_query(g, 0, g.num_vertices - 1, [0, 1], k=2)
+        with pytest.raises(QueryError, match="attach_disk_store"):
+            packed.run(q, method="SK-DB")
+        # re-attaching refreshes the shards with the updated indexes
+        packed.attach_disk_store(tmp_path)
+        assert packed.run(q, method="SK-DB").costs == \
+            pytest.approx(packed.run(q, method="SK").costs)
+
+    def test_overlay_ratio_survives_edge_update(self):
+        g = _graph(85)
+        engine = KOSREngine.build(g, overlay_ratio=0.5)
+        assert all(il.overlay_ratio == 0.5 for il in engine.inverted.values())
+        engine.update_edge(0, g.num_vertices - 1, 2.0)
+        assert all(il.overlay_ratio == 0.5 for il in engine.inverted.values())
+
+    def test_update_guard_validates_every_category(self):
+        """The fail-fast guard inspects *all* indexes, not just the first."""
+        from repro.exceptions import IndexBuildError
+        from repro.labeling.updates import add_vertex_to_category
+
+        g, packed, _ = self._twin_engines(81)
+        last_cid = max(packed.inverted)
+        packed.inverted[last_cid] = object()  # pollute a *non-first* slot
         victim = next(v for v in range(g.num_vertices)
                       if not g.has_category(v, 0))
-        add_vertex_to_category(g, engine.labels, engine.inverted, victim, 0)
-        assert g.has_category(victim, 0)
-        remove_vertex_from_category(g, engine.labels, engine.inverted, victim, 0)
+        with pytest.raises(IndexBuildError, match="PackedInvertedIndex"):
+            add_vertex_to_category(g, packed.labels, packed.inverted, victim, 0)
+        # The guard fires before F(v) is touched.
         assert not g.has_category(victim, 0)

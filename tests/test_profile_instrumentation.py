@@ -80,6 +80,25 @@ class TestZeroOverheadDefault:
                            method="KPNE", time_budget_s=0.0)
         assert not res.stats.completed
 
+    def test_no_timer_syscalls_with_nonempty_overlay(self, clock):
+        """The delta-overlay query path is as instrumentation-free as the
+        static one: zero ``perf_counter`` calls even while cursors fold
+        overlay deltas into the flat buffers."""
+        g = random_graph(40, avg_out_degree=2.8, rng=random.Random(23))
+        assign_uniform_categories(g, 3, 8, random.Random(24))
+        engine = KOSREngine.build(g)
+        for il in engine.inverted.values():
+            il.overlay_ratio = 1e9  # keep deltas in the overlay
+        outsider = next(v for v in range(g.num_vertices)
+                        if not g.has_category(v, 0))
+        member = sorted(g.members(1))[0]
+        engine.add_vertex_to_category(outsider, 0)
+        engine.remove_vertex_from_category(member, 1)
+        assert engine.inverted[0].dirty or engine.inverted[1].dirty
+        res = engine.query(0, g.num_vertices - 1, [0, 1, 2], k=3, method="SK")
+        assert clock.calls == 0
+        assert res.stats.examined_routes > 0
+
 
 class TestProfiledMode:
     def test_breakdown_populates(self, case, clock):

@@ -163,3 +163,19 @@ class TestStructureUpdates:
         for s in range(0, g.num_vertices, 7):
             for t in range(g.num_vertices):
                 assert labels2.distance(s, t) == fresh_labels.distance(s, t)
+
+    def test_rebuild_emits_packed_indexes_for_packed_backend(self, setup):
+        from repro.labeling.packed import PackedLabelIndex
+        from repro.labeling.packed_inverted import PackedInvertedIndex
+
+        g, labels, _, _ = setup
+        labels2, inverted2 = update_edge(g, 0, 5, 0.0, backend="packed")
+        assert isinstance(labels2, PackedLabelIndex)
+        assert all(isinstance(il, PackedInvertedIndex)
+                   for il in inverted2.values())
+        assert labels2.distance(0, 5) == 0.0
+        # same distances as the object-backend rebuild of the same graph
+        labels3, _ = rebuild_after_structure_update(g)
+        for s in range(0, g.num_vertices, 7):
+            for t in range(g.num_vertices):
+                assert labels2.distance(s, t) == labels3.distance(s, t)

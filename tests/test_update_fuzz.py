@@ -1,0 +1,137 @@
+"""Randomized differential fuzzing of the dynamic packed backend.
+
+One long-lived packed engine absorbs a seeded random interleaving of
+category inserts/removals, edge updates, explicit compactions, and
+queries.  After **every** step its answers are checked bit-identically
+(witnesses, costs, and all search counters) against a freshly built
+object-backend engine over the same graph state, and the cost vector is
+additionally checked against the exhaustive brute-force oracle.  The
+overlay therefore gets exercised in every phase: fresh deltas, partially
+patched runs, threshold-triggered compactions, and post-``update_edge``
+rebuilds.
+
+Across the five seeds the suite performs 5 × 44 = 220 update/query
+steps (the differential check itself runs SK *and* PK on every step).
+"""
+
+import random
+
+import pytest
+
+from repro import KOSREngine, make_query
+from repro.core.brute import brute_force_kosr
+from repro.graph import random_graph
+from repro.graph.categories import assign_uniform_categories
+from repro.labeling.packed_inverted import PackedInvertedIndex
+
+SEEDS = (101, 202, 303, 404, 505)
+STEPS_PER_SEED = 44
+N_VERTICES = 20
+N_CATEGORIES = 3
+CATEGORY_SIZE = 5
+
+
+def _make_graph(seed: int):
+    g = random_graph(N_VERTICES, avg_out_degree=2.5, rng=random.Random(seed))
+    assign_uniform_categories(g, N_CATEGORIES, CATEGORY_SIZE,
+                              random.Random(seed + 1))
+    return g
+
+
+def _differential_check(g, packed, rng):
+    """One random query on both backends + the brute-force oracle."""
+    s = rng.randrange(g.num_vertices)
+    t = rng.randrange(g.num_vertices)
+    n_cats = rng.choice((1, 2))
+    cats = rng.sample(range(g.num_categories), n_cats)
+    k = rng.randint(1, 3)
+    q = make_query(g, s, t, cats, k=k)
+    obj = KOSREngine.build(g, backend="object")
+    for method in ("SK", "PK"):
+        a = packed.run(q, method=method)
+        b = obj.run(q, method=method)
+        assert a.witnesses == b.witnesses
+        assert a.costs == pytest.approx(b.costs)
+        assert a.stats.nn_queries == b.stats.nn_queries
+        assert a.stats.examined_routes == b.stats.examined_routes
+        assert a.stats.generated_routes == b.stats.generated_routes
+        assert a.stats.dominated_routes == b.stats.dominated_routes
+        assert a.stats.reconsidered_routes == b.stats.reconsidered_routes
+    oracle = brute_force_kosr(g, q)
+    sk = packed.run(q, method="SK")
+    assert sk.costs == pytest.approx([r.witness.cost for r in oracle])
+
+
+def _random_mutation(g, packed, rng):
+    """Apply one random update to the packed engine (and shared graph)."""
+    op = rng.random()
+    if op < 0.35:  # category insert
+        cid = rng.randrange(g.num_categories)
+        candidates = [v for v in range(g.num_vertices)
+                      if not g.has_category(v, cid)]
+        if candidates:
+            packed.add_vertex_to_category(rng.choice(candidates), cid)
+            return "add"
+    elif op < 0.70:  # category removal (never empties a category)
+        cid = rng.randrange(g.num_categories)
+        members = sorted(g.members(cid))
+        if len(members) > 1:
+            packed.remove_vertex_from_category(rng.choice(members), cid)
+            return "remove"
+    elif op < 0.80:  # explicit compaction
+        packed.compact()
+        return "compact"
+    else:  # structure update: insert / reweight / delete an edge
+        kind = rng.random()
+        if kind < 0.4:
+            edges = list(g.edges())
+            u, v, _ = rng.choice(edges)
+            packed.update_edge(u, v, None)
+        else:
+            u = rng.randrange(g.num_vertices)
+            v = rng.randrange(g.num_vertices)
+            if u == v:
+                v = (v + 1) % g.num_vertices
+            packed.update_edge(u, v, rng.uniform(1.0, 10.0))
+        return "edge"
+    return "noop"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fuzz_packed_overlay_differential(seed):
+    g = _make_graph(seed)
+    packed = KOSREngine.build(g, backend="packed")
+    rng = random.Random(seed * 7 + 1)
+    counts = {}
+    for _ in range(STEPS_PER_SEED):
+        kind = _random_mutation(g, packed, rng)
+        counts[kind] = counts.get(kind, 0) + 1
+        _differential_check(g, packed, rng)
+    # The interleaving exercised every mutation kind at least once.
+    assert counts.get("add", 0) > 0
+    assert counts.get("remove", 0) > 0
+    assert counts.get("edge", 0) > 0
+
+
+def test_fuzz_step_budget_meets_acceptance():
+    """The suite performs >= 200 randomized steps across >= 5 seeds."""
+    assert len(SEEDS) >= 5
+    assert len(SEEDS) * STEPS_PER_SEED >= 200
+
+
+def test_fuzz_effective_lists_match_object_rebuild():
+    """After a fuzz run, the packed indexes' *effective* lists (base +
+    overlay, tombstones applied) equal a from-scratch object build."""
+    from repro.labeling.inverted import build_inverted_index
+
+    g = _make_graph(909)
+    packed = KOSREngine.build(g, backend="packed")
+    rng = random.Random(910)
+    for _ in range(30):
+        _random_mutation(g, packed, rng)
+    for cid, il in packed.inverted.items():
+        assert isinstance(il, PackedInvertedIndex)
+        fresh = build_inverted_index(g, packed.labels, cid)
+        assert il.as_lists() == fresh.lists
+        assert il.total_entries == fresh.total_entries
+        assert il.num_hubs == fresh.num_hubs
