@@ -54,6 +54,7 @@ from repro.core import (
     star_kosr,
 )
 from repro.core.query import make_query
+from repro.service import BatchResult, QueryService
 
 __version__ = "1.0.0"
 
@@ -93,5 +94,7 @@ __all__ = [
     "pruning_kosr",
     "star_kosr",
     "make_query",
+    "BatchResult",
+    "QueryService",
     "__version__",
 ]

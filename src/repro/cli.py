@@ -7,18 +7,22 @@ Subcommands::
     python -m repro.cli preprocess --graph graph.json --out index_dir
     python -m repro.cli query      --graph graph.json --source 0 --target 99 \
                                    --categories cat0,cat3 --k 5 --method SK
+    python -m repro.cli batch      --graph graph.json --workload wl.json
     python -m repro.cli figure     --name fig3a [--scale 0.2] [--queries 3]
 
 ``generate`` writes a dataset analogue; ``preprocess`` builds the 2-hop
 label index (saving both the packed binary labels and the per-category
 SK-DB shards); ``query`` answers a KOSR query, reusing a preprocessed
-index when ``--index`` is given; ``figure`` regenerates one of the paper's
-tables/figures.
+index when ``--index`` is given (``--repeat N`` re-runs it through the
+warm session cache and reports cold- vs warm-cache latency); ``batch``
+executes a JSON workload through the query service's grouped batch path;
+``figure`` regenerates one of the paper's tables/figures.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -91,6 +95,32 @@ def build_parser() -> argparse.ArgumentParser:
                      help="restore actual routes, not just witnesses")
     qry.add_argument("--profile", action="store_true",
                      help="collect and print the Table X time breakdown")
+    qry.add_argument("--repeat", type=int, default=1, metavar="N",
+                     help="run the query N times through the warm session "
+                          "cache and report cold- vs warm-cache latency")
+
+    bat = sub.add_parser(
+        "batch", help="answer a JSON workload through the batch service")
+    bat.add_argument("--graph", required=True)
+    bat.add_argument("--index", help="directory written by `preprocess`")
+    bat.add_argument("--workload", required=True,
+                     help="JSON workload file, or '-' for stdin: a list of "
+                          '{"source", "target", "categories", "k"?, '
+                          '"method"?} records (or {"queries": [...]})')
+    bat.add_argument("--method", default="SK", choices=list(METHODS),
+                     help="default method for records that do not name one")
+    bat.add_argument("--nn-backend", default="label", choices=list(NN_BACKENDS))
+    bat.add_argument("--backend", default="packed", choices=list(BACKENDS))
+    bat.add_argument("--overlay-ratio", type=float, default=None)
+    bat.add_argument("--budget", type=int, default=None,
+                     help="per-query examined-route cap")
+    bat.add_argument("--time-budget", type=float, default=None,
+                     help="per-query wall-time cap in seconds")
+    bat.add_argument("--max-workers", type=int, default=None,
+                     help="run independent (target, categories) groups on a "
+                          "thread pool of this size")
+    bat.add_argument("--json", action="store_true", dest="as_json",
+                     help="emit per-query stats as JSON instead of text")
 
     fig = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig.add_argument("--name", required=True, choices=sorted(FIGURES))
@@ -154,7 +184,7 @@ def cmd_preprocess(args) -> int:
     return 0
 
 
-def _make_engine(args):
+def _make_engine(args, needs_labels: Optional[bool] = None):
     graph = _load_graph(args.graph)
     backend = getattr(args, "backend", "packed")
     overlay_ratio = getattr(args, "overlay_ratio", None)
@@ -171,9 +201,12 @@ def _make_engine(args):
 
             engine._store = CategoryShardStore(shards)
         return engine
-    if args.method == "SK-DB":
+    if args.method == "SK-DB" and args.command != "batch":
         raise SystemExit("SK-DB needs --index (run `preprocess` first)")
-    if args.nn_backend == "label" and args.method not in ("GSP", "GSP-CH"):
+    if needs_labels is None:
+        needs_labels = (args.nn_backend == "label"
+                        and args.method not in ("GSP", "GSP-CH"))
+    if needs_labels:
         return KOSREngine.build(graph, backend=backend,
                                 overlay_ratio=overlay_ratio)
     return KOSREngine(graph)
@@ -210,7 +243,144 @@ def cmd_query(args) -> int:
               f"queue {stats.queue_time * 1000:.2f} ms, "
               f"estimation {stats.estimation_time * 1000:.2f} ms, "
               f"other {stats.other_time * 1000:.2f} ms")
+    if args.repeat > 1:
+        _report_repeats(engine, args, categories, result, elapsed)
     return 0 if stats.completed else 2
+
+
+def _report_repeats(engine, args, categories, cold_result, cold_elapsed) -> None:
+    """Re-run the query through the warm session cache (``--repeat N``).
+
+    The first run above was cold (fresh finder + memos); the repeats go
+    through ``engine.service``, so the second and later runs hit the
+    session's warm FindNN streams and the per-target ``dis(·, t)``
+    kernel.  Results and counters are asserted identical — only latency
+    may change.
+    """
+    q = engine.make_query(args.source, args.target, categories, k=args.k)
+    service = engine.service
+    warm_ms: List[float] = []
+    for _ in range(args.repeat - 1):
+        t0 = time.perf_counter()
+        repeat = service.run(
+            q, method=args.method, nn_backend=args.nn_backend,
+            budget=args.budget, restore_routes=args.routes,
+            profile=args.profile,
+        )
+        warm_ms.append((time.perf_counter() - t0) * 1000.0)
+        if (repeat.witnesses != cold_result.witnesses
+                or repeat.stats.nn_queries != cold_result.stats.nn_queries):
+            raise SystemExit("warm-cache repeat diverged from the cold run")
+    best = min(warm_ms)
+    mean = sum(warm_ms) / len(warm_ms)
+    cold_ms = cold_elapsed * 1000.0
+    speedup = cold_ms / mean if mean > 0 else float("inf")
+    print(f"repeat x{args.repeat}: cold {cold_ms:.2f} ms, "
+          f"warm mean {mean:.2f} ms (best {best:.2f} ms), "
+          f"speedup {speedup:.2f}x")
+    cache = service.session.stats
+    print(f"  session cache: {cache.finder_hits} finder hits, "
+          f"{cache.dest_kernel_hits} dest-kernel hits")
+
+
+def _load_workload_records(spec: str) -> List[dict]:
+    """Parse the ``batch`` workload: a JSON list (or ``{"queries": [...]}``)."""
+    raw = sys.stdin.read() if spec == "-" else Path(spec).read_text()
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"workload is not valid JSON: {exc}")
+    if isinstance(payload, dict):
+        payload = payload.get("queries")
+    if not isinstance(payload, list) or not payload:
+        raise SystemExit("workload must be a non-empty JSON list of queries "
+                         '(or {"queries": [...]})')
+    for i, record in enumerate(payload):
+        if not isinstance(record, dict) or not {"source", "target",
+                                                "categories"} <= set(record):
+            raise SystemExit(f"workload record {i} needs source/target/categories")
+    return payload
+
+
+def cmd_batch(args) -> int:
+    """Run a JSON workload through ``QueryService.run_batch``."""
+    records = _load_workload_records(args.workload)
+    methods = {record.get("method", args.method) for record in records}
+    # Label indexes are the dominant startup cost; skip the build when no
+    # record's method will touch them (all-GSP workloads, Dijkstra oracles).
+    needs_labels = (args.nn_backend == "label"
+                    and any(m not in ("GSP", "GSP-CH") for m in methods))
+    engine = _make_engine(args, needs_labels=needs_labels)
+    # Fail fast — before any query runs — on unknown methods/backends and
+    # on SK-DB without an index directory.
+    from repro.exceptions import QueryError
+    from repro.service import resolve_plan
+
+    for method in sorted(methods):
+        try:
+            resolve_plan(method, args.nn_backend, engine.backend)
+        except QueryError as exc:
+            raise SystemExit(str(exc))
+        if method == "SK-DB" and engine._store is None:
+            raise SystemExit("SK-DB needs --index (run `preprocess` first)")
+    # Records may override the method; group by it so each homogeneous
+    # sub-batch flows through one run_batch call (grouping by
+    # (target, categories) happens inside the service).
+    by_method: dict = {}
+    for i, record in enumerate(records):
+        cats = [int(c) if isinstance(c, str) and c.isdigit() else c
+                for c in record["categories"]]
+        q = engine.make_query(record["source"], record["target"], cats,
+                              k=int(record.get("k", 1)))
+        by_method.setdefault(record.get("method", args.method), []).append((i, q))
+    rows = [None] * len(records)
+    service = engine.service
+    wall = 0.0
+    groups = 0
+    cache_totals: dict = {}
+    for method, items in by_method.items():
+        batch = service.run_batch(
+            [q for _, q in items], method=method, nn_backend=args.nn_backend,
+            budget=args.budget, time_budget_s=args.time_budget,
+            max_workers=args.max_workers,
+        )
+        wall += batch.wall_time_s
+        groups += batch.num_groups
+        for name, value in batch.cache_stats.items():
+            cache_totals[name] = cache_totals.get(name, 0) + value
+        for (i, _), result in zip(items, batch):
+            s = result.stats
+            rows[i] = {
+                "method": method,
+                "costs": result.costs,
+                "witnesses": [list(w) for w in result.witnesses],
+                "examined_routes": s.examined_routes,
+                "nn_queries": s.nn_queries,
+                "completed": s.completed,
+                "time_ms": s.total_time * 1000.0,
+            }
+    unfinished = sum(1 for r in rows if not r["completed"])
+    if args.as_json:
+        print(json.dumps({
+            "queries": rows,
+            "wall_time_s": wall,
+            "queries_per_second": len(rows) / wall if wall else float("inf"),
+            "num_groups": groups,
+            "unfinished": unfinished,
+            "cache_stats": cache_totals,
+        }, indent=2))
+    else:
+        for i, row in enumerate(rows):
+            status = "ok" if row["completed"] else "INF"
+            best = f"{row['costs'][0]:g}" if row["costs"] else "-"
+            print(f"#{i} [{row['method']}] best {best} "
+                  f"({len(row['costs'])} results), "
+                  f"{row['examined_routes']} examined, "
+                  f"{row['nn_queries']} NN, {row['time_ms']:.2f} ms {status}")
+        qps = len(rows) / wall if wall else float("inf")
+        print(f"batch: {len(rows)} queries in {wall * 1000:.1f} ms "
+              f"({qps:.1f} q/s), {groups} groups, {unfinished} unfinished")
+    return 0 if unfinished == 0 else 2
 
 
 def cmd_figure(args) -> int:
@@ -246,6 +416,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "info": cmd_info,
         "preprocess": cmd_preprocess,
         "query": cmd_query,
+        "batch": cmd_batch,
         "figure": cmd_figure,
     }
     return handlers[args.command](args)

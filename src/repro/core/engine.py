@@ -13,8 +13,18 @@ Typical use::
         print(item.witness.vertices, item.cost)
 
 The engine owns the offline artefacts (label index, inverted indexes,
-optional disk store) and dispatches online queries to any of the paper's
-methods over any NN backend.
+optional disk store) and *plans* online queries through the service
+layer's method registry (:mod:`repro.service.planner`): each method is a
+registered executor with declared resource needs, executed by
+:func:`repro.service.execution.execute_plan`.  ``KOSREngine.run`` uses
+cold per-query resources — a fresh finder and fresh memos, the paper's
+measurement setup — while :attr:`KOSREngine.service` exposes the warm
+:class:`~repro.service.service.QueryService` for workload serving
+(cross-query caches, grouped batches).
+
+Every index mutation stamps :attr:`index_epoch`; the service layer's
+session caches validate against it, so stale cross-query state can never
+survive an update (see ``SessionCache``).
 
 Two interchangeable *index backends* exist (``BACKENDS``):
 
@@ -39,13 +49,9 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.core.gsp import gsp_osr, gsp_osr_ch
-from repro.core.kpne import kpne
-from repro.core.pruning import pruning_kosr
 from repro.core.query import KOSRQuery, make_query
-from repro.core.star import star_kosr
 from repro.core.stats import PreprocessingStats, QueryStats
-from repro.exceptions import QueryError
+from repro.exceptions import BudgetExceededError, QueryError  # noqa: F401  (re-export)
 from repro.graph.graph import Graph
 from repro.labeling import updates as _updates
 from repro.labeling.inverted import InvertedLabelIndex, build_inverted_indexes
@@ -53,27 +59,28 @@ from repro.labeling.labels import LabelIndex
 from repro.labeling.packed import PackedLabelIndex
 from repro.labeling.packed_inverted import build_packed_inverted_indexes
 from repro.labeling.pll_unweighted import build_labels_auto
-from repro.labeling.storage import CategoryShardStore, DiskLabelRepository
+from repro.labeling.storage import CategoryShardStore
 from repro.nn.base import NearestNeighborFinder
 from repro.nn.dijkstra_nn import DijkstraNNFinder
 from repro.nn.label_nn import LabelNNFinder, PackedLabelNNFinder
+from repro.service.execution import execute_plan
+from repro.service.planner import (
+    BACKENDS,
+    METHODS,
+    NN_BACKENDS,
+    check_backend,
+    resolve_plan,
+)
+from repro.service.service import QueryService
 from repro.types import CategoryId, Route, SequencedResult, Vertex
 
-#: Method identifiers accepted by :meth:`KOSREngine.query`, matching the
-#: paper's legend: KPNE (baseline), PK (PruningKOSR), SK (StarKOSR),
-#: SK-NODOM (heuristic-only ablation), SK-DB (disk-resident labels),
-#: GSP (k = 1 only).
-METHODS = ("KPNE", "PK", "SK", "SK-NODOM", "SK-DB", "GSP", "GSP-CH")
-
-#: NN oracle backends: "label" = FindNN over the inverted label index;
-#: "dij-restart" = the paper's from-scratch Dijkstra (the ``*-Dij`` curves);
-#: "dij-resume" = resumable Dijkstra cursors (ablation).
-NN_BACKENDS = ("label", "dij-restart", "dij-resume")
-
-#: Index backends: "packed" = flat parallel buffers (default, fastest,
-#: dynamic via delta overlays); "object" = per-entry LabelEntry objects
-#: (reference implementation).
-BACKENDS = ("packed", "object")
+__all__ = [
+    "BACKENDS",
+    "KOSREngine",
+    "KOSRResult",
+    "METHODS",
+    "NN_BACKENDS",
+]
 
 
 @dataclass
@@ -114,16 +121,17 @@ class KOSREngine:
         #: build-time compaction-threshold override, re-applied when
         #: structure updates rebuild the inverted indexes
         self._overlay_ratio: Optional[float] = None
+        #: engine-level epoch contribution (bumped by structure updates
+        #: and explicit compaction; see :attr:`index_epoch`)
+        self._epoch_base = 0
+        self._service: Optional[QueryService] = None
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @staticmethod
     def _check_backend(backend: str) -> None:
-        if backend not in BACKENDS:
-            raise QueryError(
-                f"unknown index backend {backend!r}; choose from {BACKENDS}"
-            )
+        check_backend(backend)
 
     @staticmethod
     def _inverted_stats(stats: PreprocessingStats, inverted) -> None:
@@ -235,6 +243,41 @@ class KOSREngine:
         return engine
 
     # ------------------------------------------------------------------
+    # Index epoch + service access
+    # ------------------------------------------------------------------
+    @property
+    def index_epoch(self) -> int:
+        """Monotonic stamp of the index state.
+
+        Moves whenever category updates, edge updates, or compaction
+        change the indexes: the engine-level ``_epoch_base`` covers
+        wholesale rebuilds and explicit :meth:`compact`, while the
+        per-index ``version`` counters (bumped inside the labeling layer)
+        cover incremental mutations — including ones applied through the
+        module-level update helpers behind the engine's back.  Session
+        caches (:class:`~repro.service.cache.SessionCache`) compare this
+        stamp before serving from warm state.
+        """
+        epoch = self._epoch_base
+        if self.inverted:
+            epoch += sum(getattr(il, "version", 0)
+                         for il in self.inverted.values())
+        return epoch
+
+    @property
+    def service(self) -> QueryService:
+        """The engine's warm :class:`QueryService` (created lazily).
+
+        Use it for workloads: ``engine.service.run_batch(queries)``
+        shares per-target ``dis(·, t)`` kernels, warm FindNN streams,
+        and SK-DB shard views across queries while reporting the same
+        results and counters as cold per-query runs.
+        """
+        if self._service is None:
+            self._service = QueryService(self)
+        return self._service
+
+    # ------------------------------------------------------------------
     # Dynamic updates (Sec. IV-C)
     # ------------------------------------------------------------------
     def add_vertex_to_category(self, v: Vertex, cid: CategoryId) -> None:
@@ -245,7 +288,8 @@ class KOSREngine:
         category's overlay (folded in lazily by the next queries,
         compacted automatically past ``overlay_ratio``).  Any attached
         disk store is detached — its shards no longer reflect the
-        indexes (re-run :meth:`attach_disk_store` to refresh them).
+        indexes (re-run :meth:`attach_disk_store` to refresh them).  The
+        index epoch moves, invalidating session caches.
         """
         self._require_indexes()
         _updates.add_vertex_to_category(
@@ -266,9 +310,13 @@ class KOSREngine:
         Rebuilds labels and inverted indexes in this engine's own backend
         representation — a packed engine stays packed and keeps its
         build-time ``overlay_ratio``.  The cached CH and any attached
-        disk store are dropped (both stale after a structure change).
+        disk store are dropped (both stale after a structure change), and
+        the index epoch moves past every previous value.
         """
         self._require_indexes()
+        # Stamp past the outgoing epoch *before* the rebuild swaps in
+        # fresh indexes whose version counters restart at zero.
+        self._epoch_base = self.index_epoch + 1
         self.labels, self.inverted = _updates.update_edge(
             self.graph, u, v, weight, order, backend=self.backend)
         if self.backend == "packed":
@@ -282,8 +330,11 @@ class KOSREngine:
         Only meaningful on the packed backend (a no-op otherwise); query
         results are unchanged.  Call it after an update burst to return
         to the garbage-free flat-buffer layout instead of waiting for the
-        per-category ``overlay_ratio`` trigger.
+        per-category ``overlay_ratio`` trigger.  Bumps the index epoch:
+        compaction rebuilds the physical buffers, so session caches
+        re-snapshot rather than trusting warm cursors over them.
         """
+        self._epoch_base += 1
         if self.inverted:
             for il in self.inverted.values():
                 if hasattr(il, "compact"):
@@ -354,43 +405,23 @@ class KOSREngine:
         strict_budget: bool = False,
         profile: bool = False,
     ) -> KOSRResult:
-        """Answer a prevalidated :class:`KOSRQuery`.
+        """Answer a prevalidated :class:`KOSRQuery` with cold resources.
 
-        With ``strict_budget`` a guard hit raises
-        :class:`~repro.exceptions.BudgetExceededError` instead of returning
-        a partial result with ``stats.completed = False``.  ``profile``
-        enables the per-operation Table X timers (see :meth:`query`).
+        The method dispatch resolves through the service layer's planner
+        registry; execution builds a fresh finder and fresh memos per
+        query (the paper's measurement setup).  With ``strict_budget`` a
+        guard hit raises :class:`~repro.exceptions.BudgetExceededError`
+        instead of returning a partial result with
+        ``stats.completed = False``.  ``profile`` enables the
+        per-operation Table X timers (see :meth:`query`).  For warm
+        cross-query caching and batched workloads use :attr:`service`.
         """
-        if method not in METHODS:
-            raise QueryError(f"unknown method {method!r}; choose from {METHODS}")
-        stats = QueryStats(method=method, profile=profile)
-        t_start = time.perf_counter()
-        deadline = None if time_budget_s is None else t_start + time_budget_s
-        if method == "GSP":
-            results = gsp_osr(self.graph, q, stats)
-        elif method == "GSP-CH":
-            results = gsp_osr_ch(self.graph, q, self.contraction_hierarchy(), stats)
-        elif method == "SK-DB":
-            results = self._run_disk(q, stats, budget, deadline)
-        else:
-            finder = self._make_finder(nn_backend)
-            if method == "KPNE":
-                results = kpne(q, finder, stats, budget, deadline)
-            elif method == "PK":
-                results = pruning_kosr(q, finder, stats, budget, deadline)
-            elif method == "SK":
-                results = star_kosr(q, finder, stats, budget, deadline)
-            else:  # SK-NODOM
-                results = star_kosr(q, finder, stats, budget, deadline,
-                                    use_dominance=False)
-        stats.total_time = time.perf_counter() - t_start
-        if strict_budget and not stats.completed:
-            from repro.exceptions import BudgetExceededError
-
-            raise BudgetExceededError(budget if budget is not None else -1)
-        if restore_routes:
-            self._restore(results)
-        return KOSRResult(q, results, stats)
+        plan = resolve_plan(method, nn_backend, self.backend)
+        return execute_plan(
+            self, plan, q, budget=budget, time_budget_s=time_budget_s,
+            restore_routes=restore_routes, strict_budget=strict_budget,
+            profile=profile,
+        )
 
     def contraction_hierarchy(self):
         """The engine's CH (built lazily, cached; used by GSP-CH)."""
@@ -413,17 +444,6 @@ class KOSREngine:
         if nn_backend == "dij-resume":
             return DijkstraNNFinder(self.graph, mode="resume")
         raise QueryError(f"unknown NN backend {nn_backend!r}; choose from {NN_BACKENDS}")
-
-    def _run_disk(self, q: KOSRQuery, stats: QueryStats, budget: Optional[int],
-                  deadline: Optional[float] = None):
-        if self._store is None:
-            raise QueryError("SK-DB requires attach_disk_store() first")
-        repo = DiskLabelRepository(self._store)
-        t0 = time.perf_counter()
-        view = repo.load_for_query(q.categories, q.source, q.target)
-        stats.index_load_time = time.perf_counter() - t0
-        finder = LabelNNFinder(view.lout, view.hub_vertex, view.hub_list, view.distance)
-        return star_kosr(q, finder, stats, budget, deadline)
 
     def _restore(self, results: List[SequencedResult]) -> None:
         if self.labels is None:

@@ -26,10 +26,15 @@ class InvertedLabelIndex:
         self.category = category
         #: hub vertex -> [(dist_from_hub_to_member, member)], sorted ascending.
         self.lists: Dict[Vertex, List[Tuple[Cost, Vertex]]] = {}
+        #: bumped by every effective mutation; the engine folds these into
+        #: its ``index_epoch`` so session caches can detect staleness even
+        #: when indexes are patched through the module-level update helpers
+        self.version = 0
 
     def add_entry(self, hub: Vertex, dist: Cost, member: Vertex) -> None:
         """Insert one ``(dist, member)`` pair keeping the hub list sorted."""
         insort(self.lists.setdefault(hub, []), (dist, member))
+        self.version += 1
 
     def remove_member(self, hub: Vertex, dist: Cost, member: Vertex) -> None:
         """Remove one pair (no-op when absent)."""
@@ -42,6 +47,7 @@ class InvertedLabelIndex:
             return
         if not entries:
             del self.lists[hub]
+        self.version += 1
 
     def hub_list(self, hub: Vertex) -> List[Tuple[Cost, Vertex]]:
         """The sorted entries of hub ``hub`` (empty when the hub is unused)."""

@@ -58,8 +58,9 @@ class PackedInvertedIndex:
     """One category's inverted label lists as flat parallel buffers."""
 
     __slots__ = ("category", "dists", "members", "slices", "rank_slices",
-                 "hub_ranks", "overlay_ratio", "_pending", "_tombstones",
-                 "_hub_of_rank", "_live", "_dead", "_overlay_ops")
+                 "hub_ranks", "overlay_ratio", "version", "_pending",
+                 "_tombstones", "_hub_of_rank", "_live", "_dead",
+                 "_overlay_ops")
 
     def __init__(
         self,
@@ -83,6 +84,10 @@ class PackedInvertedIndex:
         #: overlay bookkeeping can translate either way
         self.hub_ranks: Dict[Vertex, int] = dict(hub_ranks)
         self.overlay_ratio: float = DEFAULT_OVERLAY_RATIO
+        #: bumped by every overlay mutation and by :meth:`compact` (the
+        #: engine's ``index_epoch`` sums these; lazy query-time patches
+        #: are physical-only and intentionally do *not* bump it)
+        self.version = 0
         # ---- delta overlay ------------------------------------------------
         #: hub rank -> sorted pending (dist, member) inserts
         self._pending: Dict[int, List[Tuple[Cost, Vertex]]] = {}
@@ -167,6 +172,7 @@ class PackedInvertedIndex:
             insort(self._pending.setdefault(rank, []), key)
         self._live += 1
         self._overlay_ops += 1
+        self.version += 1
 
     def overlay_remove(self, hub: Vertex, rank: int, dist: Cost,
                        member: Vertex) -> bool:
@@ -192,6 +198,7 @@ class PackedInvertedIndex:
             self._tombstones.setdefault(rank, set()).add(key)
         self._live -= 1
         self._overlay_ops += 1
+        self.version += 1
         return True
 
     def _base_run_contains(self, rank: int, dist: Cost, member: Vertex) -> bool:
@@ -283,6 +290,7 @@ class PackedInvertedIndex:
             self.slices, self.rank_slices = slices, rank_slices
             self._dead = 0
         self._overlay_ops = 0
+        self.version += 1
 
     def maybe_compact(self) -> bool:
         """Compact when overlay traffic exceeds ``overlay_ratio`` of live size."""

@@ -1,0 +1,50 @@
+"""repro.service — the workload-serving layer between indexes and algorithms.
+
+* :mod:`repro.service.planner` — method registry; ``(method, nn_backend,
+  backend)`` -> :class:`QueryPlan`;
+* :mod:`repro.service.cache` — epoch-versioned :class:`SessionCache`
+  with cold-equivalent counter accounting;
+* :mod:`repro.service.execution` — resource providers + the shared plan
+  runner used by both the engine facade and the batch service;
+* :mod:`repro.service.service` — :class:`QueryService` with grouped
+  :meth:`~QueryService.run_batch` execution.
+"""
+
+from repro.service.cache import (
+    CacheStats,
+    ColdEquivalentFinderView,
+    SessionCache,
+    SharedDestKernel,
+)
+from repro.service.execution import ColdResources, WarmResources, execute_plan
+from repro.service.planner import (
+    BACKENDS,
+    ExecutorSpec,
+    METHODS,
+    NN_BACKENDS,
+    QueryPlan,
+    executor_specs,
+    register_executor,
+    resolve_plan,
+)
+from repro.service.service import BatchResult, QueryService
+
+__all__ = [
+    "BACKENDS",
+    "BatchResult",
+    "CacheStats",
+    "ColdEquivalentFinderView",
+    "ColdResources",
+    "ExecutorSpec",
+    "METHODS",
+    "NN_BACKENDS",
+    "QueryPlan",
+    "QueryService",
+    "SessionCache",
+    "SharedDestKernel",
+    "WarmResources",
+    "execute_plan",
+    "executor_specs",
+    "register_executor",
+    "resolve_plan",
+]

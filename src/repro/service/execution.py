@@ -1,0 +1,148 @@
+"""Plan execution: resource providers + the shared run loop.
+
+Both query paths — the engine facade's per-query ``run`` and the batch
+service — execute a resolved :class:`~repro.service.planner.QueryPlan`
+through :func:`execute_plan`.  They differ only in the
+:class:`ResourceProvider` handed in:
+
+* :class:`ColdResources` builds everything fresh per query (the
+  historical engine behaviour, and the reference for counter parity);
+* :class:`WarmResources` resolves finders, ``dis(·, t)`` kernels, the
+  CH, and SK-DB views from an epoch-validated
+  :class:`~repro.service.cache.SessionCache`.
+
+Executors receive an :class:`ExecutionContext` and never touch the
+engine's dispatch logic, so adding a method is one ``register_executor``
+call away.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.query import KOSRQuery
+from repro.core.stats import QueryStats
+from repro.exceptions import BudgetExceededError, QueryError
+from repro.nn.base import NearestNeighborFinder
+from repro.service.cache import SessionCache
+from repro.service.planner import QueryPlan
+
+
+class ColdResources:
+    """Per-query resources built from scratch (the classic engine path)."""
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def finder(self, nn_backend: str) -> NearestNeighborFinder:
+        return self.engine._make_finder(nn_backend)
+
+    def contraction_hierarchy(self):
+        return self.engine.contraction_hierarchy()
+
+    def disk_finder(self, query: KOSRQuery, stats: QueryStats):
+        """A fresh SK-DB finder over a per-query disk view (paper layout)."""
+        from repro.labeling.storage import DiskLabelRepository
+        from repro.nn.label_nn import LabelNNFinder
+
+        store = self.engine._store
+        if store is None:
+            raise QueryError("SK-DB requires attach_disk_store() first")
+        repo = DiskLabelRepository(store)
+        t0 = time.perf_counter()
+        view = repo.load_for_query(query.categories, query.source, query.target)
+        stats.index_load_time = time.perf_counter() - t0
+        return LabelNNFinder(view.lout, view.hub_vertex, view.hub_list,
+                             view.distance)
+
+
+class WarmResources:
+    """Session-cached resources (epoch-validated before every query).
+
+    Only the ``label`` NN backend is warmed: the Dijkstra comparators are
+    deliberate straw men whose re-search cost *is* the measurement, so
+    caching them would change what they measure — they stay cold even on
+    the service path.
+    """
+
+    def __init__(self, session: SessionCache):
+        self.session = session
+        self.engine = session.engine
+
+    def finder(self, nn_backend: str) -> NearestNeighborFinder:
+        if nn_backend == "label":
+            return self.session.finder_view()
+        return self.engine._make_finder(nn_backend)
+
+    def contraction_hierarchy(self):
+        return self.session.contraction_hierarchy()
+
+    def disk_finder(self, query: KOSRQuery, stats: QueryStats):
+        from repro.nn.label_nn import LabelNNFinder
+
+        disk = self.session.disk_state()
+        view, load_seconds = disk.view_for(query.categories, query.source,
+                                           query.target)
+        stats.index_load_time = load_seconds
+        return LabelNNFinder(view.lout, view.hub_vertex, view.hub_list,
+                             view.distance)
+
+
+@dataclass
+class ExecutionContext:
+    """Everything an executor may need to answer one planned query."""
+
+    engine: object
+    plan: QueryPlan
+    query: KOSRQuery
+    stats: QueryStats
+    budget: Optional[int]
+    deadline: Optional[float]
+    resources: object
+
+    @property
+    def graph(self):
+        return self.engine.graph
+
+
+def execute_plan(
+    engine,
+    plan: QueryPlan,
+    query: KOSRQuery,
+    *,
+    budget: Optional[int] = None,
+    time_budget_s: Optional[float] = None,
+    restore_routes: bool = False,
+    strict_budget: bool = False,
+    profile: bool = False,
+    resources=None,
+):
+    """Execute ``plan`` over ``query``; returns a
+    :class:`~repro.core.engine.KOSRResult`.
+
+    ``resources`` defaults to :class:`ColdResources` (fresh per-query
+    state — byte-identical to the pre-service engine).  ``budget`` caps
+    examined routes and ``time_budget_s`` caps wall time; with
+    ``strict_budget`` a guard hit raises
+    :class:`~repro.exceptions.BudgetExceededError` instead of returning a
+    partial result with ``stats.completed = False``.
+    """
+    from repro.core.engine import KOSRResult
+
+    if resources is None:
+        resources = ColdResources(engine)
+    stats = QueryStats(method=plan.method, profile=profile)
+    t_start = time.perf_counter()
+    deadline = None if time_budget_s is None else t_start + time_budget_s
+    ctx = ExecutionContext(engine=engine, plan=plan, query=query, stats=stats,
+                           budget=budget, deadline=deadline,
+                           resources=resources)
+    results = plan.spec.runner(ctx)
+    stats.total_time = time.perf_counter() - t_start
+    if strict_budget and not stats.completed:
+        raise BudgetExceededError(budget if budget is not None else -1)
+    if restore_routes:
+        engine._restore(results)
+    return KOSRResult(query, results, stats)

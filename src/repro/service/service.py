@@ -1,0 +1,218 @@
+"""The workload-serving query service.
+
+:class:`QueryService` is the layer between the engine's indexes and the
+algorithms that the ROADMAP's serving goals need: it plans queries
+through the method registry, keeps cross-query state warm in an
+epoch-versioned :class:`~repro.service.cache.SessionCache`, and executes
+whole workloads through :meth:`QueryService.run_batch`, which groups
+queries by ``(target, categories)`` so groupmates share the per-target
+``dis(·, t)`` kernel, the warm FindNN streams, and (for SK-DB) the
+loaded shard views.
+
+Warm reuse is *observably transparent*: answers and ``QueryStats``
+counters are bit-identical to fresh single-query engines (see the
+cold-equivalent accounting notes in :mod:`repro.service.cache`); only
+wall time changes.  The service-parity and interleaved-update fuzz tests
+pin this.
+
+``max_workers`` > 1 runs independent groups on a thread pool, each with
+its own session.  The one piece of shared mutable state — pending delta
+overlays on packed inverted indexes, which cursor creation would fold in
+lazily — is patched once up front, so worker threads only ever read the
+engine's indexes.  Under CPython's GIL this does not parallelise the
+pure-Python search itself — it exists for the free-threaded/IO-bound
+deployments the ROADMAP points at — so the default stays sequential.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.query import KOSRQuery
+from repro.service.cache import SessionCache
+from repro.service.execution import WarmResources, execute_plan
+from repro.service.planner import QueryPlan, resolve_plan
+
+#: batch groups are keyed by what warm state they can share
+GroupKey = Tuple[int, Tuple[int, ...]]
+
+
+@dataclass
+class BatchResult:
+    """Per-query results (input order) plus batch-level observability."""
+
+    results: List  # List[KOSRResult], aligned with the input workload
+    wall_time_s: float = 0.0
+    num_groups: int = 0
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def unfinished(self) -> int:
+        return sum(1 for r in self.results if not r.stats.completed)
+
+    @property
+    def total_nn_queries(self) -> int:
+        return sum(r.stats.nn_queries for r in self.results)
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.wall_time_s <= 0.0:
+            return float("inf")
+        return len(self.results) / self.wall_time_s
+
+
+class QueryService:
+    """Planner + session cache + batch executor over one engine."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.session = SessionCache(engine)
+        self._plans: Dict[Tuple[str, str], QueryPlan] = {}
+
+    # ------------------------------------------------------------------
+    def plan(self, method: str, nn_backend: str = "label") -> QueryPlan:
+        """Resolve (and memoise) the plan for this engine's backend."""
+        key = (method, nn_backend)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = resolve_plan(method, nn_backend, self.engine.backend)
+            self._plans[key] = plan
+        return plan
+
+    def run(
+        self,
+        q: KOSRQuery,
+        method: str = "SK",
+        nn_backend: str = "label",
+        budget: Optional[int] = None,
+        time_budget_s: Optional[float] = None,
+        restore_routes: bool = False,
+        strict_budget: bool = False,
+        profile: bool = False,
+        session: Optional[SessionCache] = None,
+    ):
+        """Answer one query on the warm service path.
+
+        Identical signature and semantics to ``KOSREngine.run`` except
+        that finders, ``dis(·, t)`` kernels, the CH, and SK-DB views are
+        reused from the session cache when the index epoch allows it.
+        """
+        session = session if session is not None else self.session
+        session.validate()
+        return execute_plan(
+            self.engine, self.plan(method, nn_backend), q,
+            budget=budget, time_budget_s=time_budget_s,
+            restore_routes=restore_routes, strict_budget=strict_budget,
+            profile=profile, resources=WarmResources(session),
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def group_queries(queries: Sequence[KOSRQuery]) -> Dict[GroupKey, List[int]]:
+        """Input indexes grouped by ``(target, categories)``.
+
+        Groupmates share the most expensive warm state: the per-target
+        destination kernel and (for SK-DB) the category shard view.
+        Insertion order is preserved within each group.
+        """
+        groups: Dict[GroupKey, List[int]] = {}
+        for i, q in enumerate(queries):
+            groups.setdefault((q.target, q.categories), []).append(i)
+        return groups
+
+    def run_batch(
+        self,
+        queries: Sequence[KOSRQuery],
+        method: str = "SK",
+        nn_backend: str = "label",
+        budget: Optional[int] = None,
+        time_budget_s: Optional[float] = None,
+        restore_routes: bool = False,
+        profile: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> BatchResult:
+        """Execute a workload, sharing warm state between groupmates.
+
+        Results come back aligned with the input order regardless of the
+        grouping.  With ``max_workers`` > 1 independent groups run
+        concurrently, each on its own isolated session; the default is
+        sequential execution over one shared session, which maximises
+        cross-group finder reuse.
+        """
+        queries = list(queries)
+        groups = self.group_queries(queries)
+        results: List = [None] * len(queries)
+        t0 = time.perf_counter()
+
+        def run_group(indexes: List[int], session: SessionCache) -> None:
+            for i in indexes:
+                results[i] = self.run(
+                    queries[i], method=method, nn_backend=nn_backend,
+                    budget=budget, time_budget_s=time_budget_s,
+                    restore_routes=restore_routes, profile=profile,
+                    session=session,
+                )
+
+        if max_workers is not None and max_workers > 1 and len(groups) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            # Fold pending delta overlays in *before* spawning workers:
+            # packed cursors patch dirty hub runs lazily at creation,
+            # which mutates the engine's shared buffers — safe
+            # sequentially, a data race across threads.  The fold is
+            # purely physical (no epoch change, identical results).
+            self._fold_pending_overlays()
+            sessions = [SessionCache(self.engine) for _ in groups]
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                futures = [
+                    pool.submit(run_group, indexes, session)
+                    for indexes, session in zip(groups.values(), sessions)
+                ]
+                for f in futures:
+                    f.result()
+            cache_stats = self._sum_cache_stats(sessions)
+        else:
+            before = self.session.stats.as_dict()
+            for indexes in groups.values():
+                run_group(indexes, self.session)
+            # Session stats accumulate across batches; report this
+            # batch's contribution so BatchResult stands on its own.
+            cache_stats = {name: value - before[name] for name, value
+                           in self.session.stats.as_dict().items()}
+        return BatchResult(
+            results=results,
+            wall_time_s=time.perf_counter() - t0,
+            num_groups=len(groups),
+            cache_stats=cache_stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _fold_pending_overlays(self) -> None:
+        """Merge any dirty packed-overlay deltas into the flat buffers.
+
+        After this, cursor creation is read-only over the inverted
+        indexes, making them safe to share across worker threads.
+        """
+        inverted = self.engine.inverted
+        if not inverted:
+            return
+        for il in inverted.values():
+            if getattr(il, "dirty", False):
+                il._patch_all()
+
+    @staticmethod
+    def _sum_cache_stats(sessions: Sequence[SessionCache]) -> Dict[str, int]:
+        """Aggregate per-worker session counters (threaded batches)."""
+        total: Dict[str, int] = {}
+        for session in sessions:
+            for name, value in session.stats.as_dict().items():
+                total[name] = total.get(name, 0) + value
+        return total

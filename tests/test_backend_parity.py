@@ -21,6 +21,20 @@ from repro.labeling.pll import build_pruned_landmark_labels
 #: methods that exercise the NN-oracle stack (GSP/GSP-CH are graph-only)
 PAIR_METHODS = ("KPNE", "PK", "SK", "SK-NODOM")
 
+#: the QueryStats counters that must stay bit-identical across paths
+COUNTERS = ("examined_routes", "generated_routes", "nn_queries",
+            "dominated_routes", "reconsidered_routes", "max_queue_size",
+            "results_found", "completed")
+
+
+def assert_same_outcome(a, b):
+    """Results and every search counter identical between two runs."""
+    assert a.witnesses == b.witnesses
+    assert a.costs == pytest.approx(b.costs)
+    for field in COUNTERS:
+        assert getattr(a.stats, field) == getattr(b.stats, field), field
+    assert a.stats.per_level_examined == b.stats.per_level_examined
+
 
 def _graph(seed: int, n: int = 40, cats: int = 4, size: int = 7):
     g = random_graph(n, avg_out_degree=2.8, rng=random.Random(seed))
@@ -143,6 +157,133 @@ class TestPackedInvertedParity:
         packed = build_packed_inverted_index(g, labels, 0)
         assert packed.hub_slice(10 ** 9) == (0, 0)
         assert packed.hub_list(10 ** 9) == []
+
+
+class TestServicePathParity:
+    """The warm batch/service path answers like fresh single-query engines.
+
+    The session cache shares FindNN streams and ``dis(·, t)`` memos
+    across a batch, so these tests are the contract that warm reuse is
+    observably transparent: for every method × index backend, results
+    *and* every QueryStats counter from ``run_batch`` equal those of a
+    cold ``engine.run`` on a freshly built engine (the cold-equivalent
+    accounting described in ``repro.service.cache``).
+    """
+
+    def _workload(self, g, rng, n_targets=3, per_target=3, k=3):
+        queries = []
+        for _ in range(n_targets):
+            t = rng.randrange(g.num_vertices)
+            cats = rng.sample(range(g.num_categories), 2)
+            for _ in range(per_target):
+                queries.append(
+                    make_query(g, rng.randrange(g.num_vertices), t, cats, k=k))
+        return queries
+
+    @pytest.mark.parametrize("method", PAIR_METHODS)
+    def test_batch_matches_fresh_engines(self, engines, method):
+        g, packed, obj = engines
+        for engine, backend in ((packed, "packed"), (obj, "object")):
+            queries = self._workload(g, random.Random(29))
+            batch = engine.service.run_batch(queries, method=method)
+            assert len(batch) == len(queries)
+            for q, warm in zip(queries, batch):
+                cold = KOSREngine.build(g, backend=backend).run(q, method=method)
+                assert_same_outcome(warm, cold)
+
+    def test_batch_sk_db_matches_fresh_engines(self, engines, tmp_path):
+        g, packed, _ = engines
+        packed.attach_disk_store(tmp_path)
+        queries = self._workload(g, random.Random(31), n_targets=2)
+        batch = packed.service.run_batch(queries, method="SK-DB")
+        for q, warm in zip(queries, batch):
+            fresh = KOSREngine.build(g)
+            fresh._store = packed._store
+            assert_same_outcome(warm, fresh.run(q, method="SK-DB"))
+
+    def test_gsp_via_service(self, engines):
+        g, packed, _ = engines
+        q = make_query(g, 0, g.num_vertices - 1, [0, 1], k=1)
+        for method in ("GSP", "GSP-CH"):
+            warm = packed.service.run(q, method=method)
+            cold = packed.run(q, method=method)
+            assert warm.costs == pytest.approx(cold.costs)
+
+    def test_repeated_warm_queries_report_cold_counters(self, engines):
+        """The Nth identical warm query books the same counters as the 1st."""
+        g, packed, _ = engines
+        q = make_query(g, 1, g.num_vertices - 2, [0, 1], k=4)
+        cold = packed.run(q, method="SK")
+        service = packed.service
+        for _ in range(3):
+            assert_same_outcome(service.run(q, method="SK"), cold)
+
+    def test_profile_mode_on_the_service_path(self, engines):
+        g, packed, _ = engines
+        q = make_query(g, 0, g.num_vertices - 1, [0, 1], k=3)
+        cold = packed.run(q, method="SK", profile=True)
+        warm = packed.service.run(q, method="SK", profile=True)
+        assert_same_outcome(warm, cold)
+
+    def test_batch_restores_routes(self, engines):
+        g, packed, _ = engines
+        queries = [make_query(g, 0, g.num_vertices - 1, [0, 1], k=2)]
+        batch = packed.service.run_batch(queries, method="SK",
+                                         restore_routes=True)
+        cold = packed.run(queries[0], method="SK", restore_routes=True)
+        for warm_item, cold_item in zip(batch.results[0].results, cold.results):
+            assert (warm_item.route is None) == (cold_item.route is None)
+            if warm_item.route is not None:
+                assert warm_item.route.vertices == cold_item.route.vertices
+
+    def test_threaded_batch_matches_sequential(self, engines):
+        g, packed, _ = engines
+        queries = self._workload(g, random.Random(37))
+        sequential = packed.service.run_batch(queries, method="SK")
+        from repro.service import QueryService
+
+        threaded = QueryService(packed).run_batch(queries, method="SK",
+                                                  max_workers=2)
+        for a, b in zip(sequential, threaded):
+            assert_same_outcome(a, b)
+        # threaded cache stats aggregate the per-worker sessions
+        assert threaded.cache_stats["finder_misses"] >= 1
+        assert threaded.cache_stats["finder_hits"] >= 1
+
+    def test_threaded_batch_with_dirty_overlays(self):
+        """Pending overlay deltas are folded before workers spawn.
+
+        Lazy cursor-time patching mutates the shared packed buffers, so
+        a threaded batch over a dirty index must pre-patch (and still
+        answer exactly like fresh engines).
+        """
+        from repro.service import QueryService
+
+        g = _graph(41)
+        engine = KOSREngine.build(g)
+        outsider = next(v for v in range(g.num_vertices)
+                        if not g.has_category(v, 0))
+        engine.add_vertex_to_category(outsider, 0)
+        assert engine.inverted[0].dirty
+        rng = random.Random(43)
+        queries = [make_query(g, rng.randrange(g.num_vertices), t, [0, 1], k=3)
+                   for t in rng.sample(range(g.num_vertices), 4)
+                   for _ in range(2)]
+        threaded = QueryService(engine).run_batch(queries, method="SK",
+                                                  max_workers=3)
+        assert not engine.inverted[0].dirty  # folded up front
+        for q, warm in zip(queries, threaded):
+            assert_same_outcome(warm, KOSREngine.build(g).run(q, method="SK"))
+
+    def test_dij_backends_stay_cold_on_service_path(self, engines):
+        """Dijkstra comparators are rebuilt per query even when warm."""
+        g, packed, _ = engines
+        q = make_query(g, 0, g.num_vertices - 1, [0, 1], k=2)
+        cold = packed.run(q, method="PK", nn_backend="dij-restart")
+        service = packed.service
+        for _ in range(2):
+            warm = service.run(q, method="PK", nn_backend="dij-restart")
+            assert_same_outcome(warm, cold)
 
 
 class TestPostUpdateParity:

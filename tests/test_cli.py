@@ -94,6 +94,102 @@ class TestQuery:
         assert "cost 20" in capsys.readouterr().out
 
 
+class TestRepeatFlag:
+    def test_repeat_reports_cold_vs_warm(self, fig1_file, capsys):
+        code = main([
+            "query", "--graph", fig1_file,
+            "--source", str(vertex("s")), "--target", str(vertex("t")),
+            "--categories", "MA,RE,CI", "--k", "2", "--repeat", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repeat x4" in out and "warm mean" in out
+        assert "session cache" in out
+
+    def test_repeat_default_prints_nothing_extra(self, fig1_file, capsys):
+        main([
+            "query", "--graph", fig1_file,
+            "--source", str(vertex("s")), "--target", str(vertex("t")),
+            "--categories", "MA,RE,CI",
+        ])
+        assert "repeat" not in capsys.readouterr().out
+
+
+class TestBatchCommand:
+    def _workload(self, tmp_path, records):
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps(records))
+        return str(path)
+
+    def test_batch_groups_and_answers(self, fig1_file, tmp_path, capsys):
+        s, t = vertex("s"), vertex("t")
+        wl = self._workload(tmp_path, [
+            {"source": s, "target": t, "categories": ["MA", "RE", "CI"], "k": 3},
+            {"source": s, "target": t, "categories": ["MA", "RE", "CI"], "k": 3},
+            {"source": s, "target": t, "categories": ["MA"], "k": 1,
+             "method": "PK"},
+        ])
+        code = main(["batch", "--graph", fig1_file, "--workload", wl])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best 20" in out        # the paper's optimal cost
+        assert "[PK]" in out
+        assert "batch: 3 queries" in out
+
+    def test_batch_json_output(self, fig1_file, tmp_path, capsys):
+        s, t = vertex("s"), vertex("t")
+        wl = self._workload(tmp_path, [
+            {"source": s, "target": t, "categories": [0, 1, 2], "k": 2},
+        ])
+        code = main(["batch", "--graph", fig1_file, "--workload", wl,
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_groups"] == 1
+        assert payload["unfinished"] == 0
+        assert payload["queries"][0]["costs"][0] == 20
+        assert "cache_stats" in payload
+
+    def test_batch_unfinished_exit_code(self, fig1_file, tmp_path, capsys):
+        s, t = vertex("s"), vertex("t")
+        wl = self._workload(tmp_path, [
+            {"source": s, "target": t, "categories": [0, 1, 2], "k": 3,
+             "method": "KPNE"},
+        ])
+        code = main(["batch", "--graph", fig1_file, "--workload", wl,
+                     "--budget", "1"])
+        assert code == 2
+        assert "1 unfinished" in capsys.readouterr().out
+
+    def test_batch_sk_db_requires_index(self, fig1_file, tmp_path):
+        wl = self._workload(tmp_path, [
+            {"source": 0, "target": 1, "categories": [0], "method": "SK-DB"},
+        ])
+        with pytest.raises(SystemExit, match="--index"):
+            main(["batch", "--graph", fig1_file, "--workload", wl])
+
+    def test_batch_rejects_unknown_record_method_before_running(
+            self, fig1_file, tmp_path, capsys):
+        wl = self._workload(tmp_path, [
+            {"source": 0, "target": 1, "categories": [0]},
+            {"source": 0, "target": 1, "categories": [0], "method": "SKX"},
+        ])
+        with pytest.raises(SystemExit, match="unknown method"):
+            main(["batch", "--graph", fig1_file, "--workload", wl])
+        assert "best" not in capsys.readouterr().out  # nothing executed
+
+    def test_batch_threaded(self, fig1_file, tmp_path, capsys):
+        s, t = vertex("s"), vertex("t")
+        wl = self._workload(tmp_path, [
+            {"source": s, "target": t, "categories": [0, 1], "k": 2},
+            {"source": s, "target": t, "categories": [1, 2], "k": 2},
+        ])
+        code = main(["batch", "--graph", fig1_file, "--workload", wl,
+                     "--max-workers", "2"])
+        assert code == 0
+        assert "2 groups" in capsys.readouterr().out
+
+
 class TestPreprocessAndIndexedQuery:
     def test_preprocess_writes_artifacts(self, fig1_file, tmp_path, capsys):
         index_dir = tmp_path / "index"

@@ -1,0 +1,322 @@
+"""The query service layer: planner registry, session cache, batches.
+
+Covers the contracts the engine facade now rests on:
+
+* the planner resolves every method to a registered executor with
+  declared needs and rejects unknown names;
+* the epoch-versioned session cache reuses finders / dest kernels within
+  an epoch and drops everything when updates or compaction move it;
+* SK-DB error paths (no attached store, missing shard on disk) surface
+  the right exceptions on both the cold and warm paths;
+* ``strict_budget`` interacts correctly with both guard kinds, including
+  ``time_budget_s`` deadlines;
+* an interleaved update/batch fuzz pins warm execution to fresh
+  single-query engines — bit-identical results and counters — right
+  through ``update_edge`` and ``compact``.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro import BudgetExceededError, KOSREngine, QueryService, make_query
+from repro.exceptions import IndexStorageError, QueryError
+from repro.graph import random_graph
+from repro.graph.categories import assign_uniform_categories
+from repro.service import executor_specs, resolve_plan
+from repro.service.cache import SessionCache
+
+from test_backend_parity import assert_same_outcome
+
+
+def _graph(seed: int, n: int = 40, cats: int = 4, size: int = 7):
+    g = random_graph(n, avg_out_degree=2.8, rng=random.Random(seed))
+    assign_uniform_categories(g, cats, size, random.Random(seed + 1))
+    return g
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return KOSREngine.build(_graph(13))
+
+
+class TestPlanner:
+    def test_every_method_has_an_executor(self):
+        from repro.core.engine import METHODS
+
+        specs = executor_specs()
+        assert set(specs) == set(METHODS)
+
+    def test_declared_needs(self):
+        specs = executor_specs()
+        assert specs["SK"].needs_finder and not specs["SK"].needs_disk
+        assert specs["SK-DB"].needs_disk and not specs["SK-DB"].needs_finder
+        assert specs["GSP-CH"].needs_ch
+        assert not specs["GSP"].needs_finder
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(QueryError, match="unknown method"):
+            resolve_plan("NOPE")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(QueryError, match="unknown index backend"):
+            resolve_plan("SK", backend="columnar")
+
+    def test_unknown_nn_backend_rejected_only_for_finder_methods(self):
+        with pytest.raises(QueryError, match="unknown NN backend"):
+            resolve_plan("SK", nn_backend="psychic")
+        # GSP ignores the oracle axis (historical engine behaviour)
+        assert resolve_plan("GSP", nn_backend="psychic").method == "GSP"
+
+    def test_plans_are_value_objects(self):
+        assert resolve_plan("SK") == resolve_plan("SK")
+        assert resolve_plan("SK") != resolve_plan("PK")
+
+    def test_engine_run_rejects_unknown_method(self, engine):
+        q = make_query(engine.graph, 0, 1, [0], k=1)
+        with pytest.raises(QueryError, match="unknown method"):
+            engine.run(q, method="NOPE")
+
+
+class TestSessionCache:
+    def test_finder_and_dest_kernel_reused_within_epoch(self, engine):
+        service = QueryService(engine)
+        q = make_query(engine.graph, 0, 30, [0, 1], k=2)
+        service.run(q, method="SK")
+        service.run(q, method="SK")
+        stats = service.session.stats
+        assert stats.finder_misses == 1
+        assert stats.finder_hits >= 1
+        assert stats.dest_kernel_misses == 1
+        assert stats.dest_kernel_hits >= 1
+
+    def test_epoch_moves_on_every_update_kind(self):
+        engine = KOSREngine.build(_graph(17))
+        seen = {engine.index_epoch}
+
+        outsider = next(v for v in range(engine.graph.num_vertices)
+                        if not engine.graph.has_category(v, 0))
+        engine.add_vertex_to_category(outsider, 0)
+        assert engine.index_epoch not in seen
+        seen.add(engine.index_epoch)
+
+        engine.remove_vertex_from_category(outsider, 0)
+        assert engine.index_epoch not in seen
+        seen.add(engine.index_epoch)
+
+        engine.compact()
+        assert engine.index_epoch not in seen
+        seen.add(engine.index_epoch)
+
+        engine.update_edge(0, engine.graph.num_vertices - 1, 1.5)
+        assert engine.index_epoch not in seen
+
+    def test_epoch_sees_updates_behind_the_engines_back(self):
+        """Direct labeling-layer mutations still move the epoch."""
+        from repro.labeling.updates import add_vertex_to_category
+
+        engine = KOSREngine.build(_graph(19))
+        before = engine.index_epoch
+        outsider = next(v for v in range(engine.graph.num_vertices)
+                        if not engine.graph.has_category(v, 0))
+        add_vertex_to_category(engine.graph, engine.labels, engine.inverted,
+                               outsider, 0)
+        assert engine.index_epoch > before
+
+    def test_cache_invalidated_on_epoch_change(self):
+        engine = KOSREngine.build(_graph(23))
+        session = SessionCache(engine)
+        view = session.finder_view()
+        assert session.finder_view()._shared is view._shared  # warm reuse
+        outsider = next(v for v in range(engine.graph.num_vertices)
+                        if not engine.graph.has_category(v, 0))
+        engine.add_vertex_to_category(outsider, 0)
+        assert session.validate() is True  # dropped
+        assert session.finder_view()._shared is not view._shared
+        assert session.stats.invalidations == 1
+        assert session.validate() is False  # stable again
+
+    def test_lazy_query_time_patch_does_not_move_epoch(self):
+        """Folding overlay deltas into buffers mid-query is physical only."""
+        engine = KOSREngine.build(_graph(27))
+        outsider = next(v for v in range(engine.graph.num_vertices)
+                        if not engine.graph.has_category(v, 0))
+        engine.add_vertex_to_category(outsider, 0)
+        epoch = engine.index_epoch
+        q = make_query(engine.graph, 0, engine.graph.num_vertices - 1,
+                       [0, 1], k=3)
+        engine.service.run(q, method="SK")  # cursors patch dirty runs
+        assert engine.index_epoch == epoch
+
+    def test_batch_result_shape(self, engine):
+        g = engine.graph
+        queries = [make_query(g, s, 30, [0, 1], k=2) for s in (0, 1, 2)]
+        queries.append(make_query(g, 0, 31, [1, 2], k=2))
+        batch = engine.service.run_batch(queries, method="SK")
+        assert len(batch) == 4
+        assert batch.num_groups == 2
+        assert batch.unfinished == 0
+        assert [r.query for r in batch] == queries  # input order kept
+        assert batch.queries_per_second > 0
+
+
+class TestSkDbErrorPaths:
+    def test_query_before_attach_disk_store(self, engine):
+        q = make_query(engine.graph, 0, 10, [0], k=1)
+        with pytest.raises(QueryError, match="attach_disk_store"):
+            engine.run(q, method="SK-DB")
+        with pytest.raises(QueryError, match="attach_disk_store"):
+            QueryService(engine).run(q, method="SK-DB")
+
+    def test_missing_category_shard(self, tmp_path):
+        engine = KOSREngine.build(_graph(33))
+        engine.attach_disk_store(tmp_path)
+        (tmp_path / "category_1.pkl").unlink()
+        q = make_query(engine.graph, 0, 10, [1], k=1)
+        with pytest.raises(IndexStorageError, match="missing category shard"):
+            engine.run(q, method="SK-DB")
+        with pytest.raises(IndexStorageError, match="missing category shard"):
+            QueryService(engine).run(q, method="SK-DB")
+
+    def test_missing_vertex_label_file(self, tmp_path):
+        engine = KOSREngine.build(_graph(35))
+        engine.attach_disk_store(tmp_path)
+        (tmp_path / "vertices.pkl").unlink()
+        q = make_query(engine.graph, 0, 10, [0], k=1)
+        with pytest.raises(IndexStorageError, match="missing vertex label"):
+            QueryService(engine).run(q, method="SK-DB")
+
+    def test_reattach_resets_warm_disk_state(self, tmp_path):
+        engine = KOSREngine.build(_graph(37))
+        engine.attach_disk_store(tmp_path / "a")
+        service = QueryService(engine)
+        q = make_query(engine.graph, 0, 10, [0, 1], k=2)
+        first = service.run(q, method="SK-DB")
+        engine.attach_disk_store(tmp_path / "b")  # new store object
+        second = service.run(q, method="SK-DB")
+        assert_same_outcome(first, second)
+        assert service.session.stats.disk_view_misses == 2
+
+
+class TestStrictBudget:
+    """``strict_budget`` escalates *either* guard into an exception."""
+
+    def test_examined_route_budget(self, engine):
+        q = make_query(engine.graph, 0, engine.graph.num_vertices - 1,
+                       [0, 1, 2], k=3)
+        with pytest.raises(BudgetExceededError):
+            engine.run(q, method="KPNE", budget=1, strict_budget=True)
+
+    def test_time_budget_deadline(self, engine):
+        """An already-expired deadline trips strict mode (satellite case)."""
+        q = make_query(engine.graph, 0, engine.graph.num_vertices - 1,
+                       [0, 1, 2], k=3)
+        with pytest.raises(BudgetExceededError):
+            engine.run(q, method="SK", time_budget_s=0.0, strict_budget=True)
+
+    def test_deadline_without_strict_reports_inf(self, engine):
+        q = make_query(engine.graph, 0, engine.graph.num_vertices - 1,
+                       [0, 1, 2], k=3)
+        result = engine.run(q, method="SK", time_budget_s=0.0)
+        assert not result.stats.completed
+
+    def test_generous_guards_complete(self, engine):
+        q = make_query(engine.graph, 0, engine.graph.num_vertices - 1,
+                       [0, 1], k=2)
+        result = engine.run(q, method="SK", budget=10_000, time_budget_s=30.0,
+                            strict_budget=True)
+        assert result.stats.completed
+
+    def test_strict_budget_on_service_path(self, engine):
+        q = make_query(engine.graph, 0, engine.graph.num_vertices - 1,
+                       [0, 1, 2], k=3)
+        with pytest.raises(BudgetExceededError):
+            QueryService(engine).run(q, method="KPNE", budget=1,
+                                     strict_budget=True)
+
+
+class TestInterleavedUpdateFuzz:
+    """run_batch interleaved with updates == fresh single-query engines.
+
+    A randomized schedule of batches, category inserts/removals, edge
+    updates, and compactions; after every batch each result is replayed
+    on a cold engine built from the current graph.  Bit-identical
+    witnesses, costs, and counters prove the epoch invalidation never
+    serves stale warm state (and never over-serves: counters would drift
+    if NL hits leaked across an epoch).
+    """
+
+    METHODS = ("SK", "PK")
+
+    def _random_batch(self, g, rng, size=6):
+        queries = []
+        t = rng.randrange(g.num_vertices)
+        cats = rng.sample(range(g.num_categories), 2)
+        for _ in range(size):
+            # half the batch shares (target, cats); the rest is scattered
+            if rng.random() < 0.5:
+                queries.append(
+                    make_query(g, rng.randrange(g.num_vertices), t, cats, k=3))
+            else:
+                queries.append(make_query(
+                    g, rng.randrange(g.num_vertices),
+                    rng.randrange(g.num_vertices),
+                    rng.sample(range(g.num_categories), 2), k=3))
+        return queries
+
+    @pytest.mark.parametrize("seed", [101, 202])
+    def test_fuzz(self, seed):
+        rng = random.Random(seed)
+        g = _graph(seed, n=36, cats=4, size=6)
+        engine = KOSREngine.build(g)
+        service = engine.service
+        method_cycle = 0
+        for step in range(10):
+            op = rng.random()
+            if op < 0.30:
+                v = rng.randrange(g.num_vertices)
+                cid = rng.randrange(g.num_categories)
+                if g.has_category(v, cid) and g.category_size(cid) > 2:
+                    engine.remove_vertex_from_category(v, cid)
+                else:
+                    engine.add_vertex_to_category(v, cid)
+            elif op < 0.40:
+                u, v = rng.randrange(g.num_vertices), rng.randrange(g.num_vertices)
+                if u != v:
+                    engine.update_edge(u, v, rng.uniform(0.5, 3.0))
+            elif op < 0.50:
+                engine.compact()
+            method = self.METHODS[method_cycle % len(self.METHODS)]
+            method_cycle += 1
+            queries = self._random_batch(g, rng)
+            batch = service.run_batch(queries, method=method)
+            for q, warm in zip(queries, batch):
+                cold = KOSREngine.build(g).run(q, method=method)
+                assert_same_outcome(warm, cold)
+
+
+class TestCliBatchHelpers:
+    def test_workload_parsing_accepts_list_and_wrapper(self, tmp_path):
+        from repro.cli import _load_workload_records
+
+        records = [{"source": 0, "target": 1, "categories": [0]}]
+        p = tmp_path / "wl.json"
+        p.write_text(json.dumps(records))
+        assert _load_workload_records(str(p)) == records
+        p.write_text(json.dumps({"queries": records}))
+        assert _load_workload_records(str(p)) == records
+
+    def test_workload_parsing_rejects_garbage(self, tmp_path):
+        from repro.cli import _load_workload_records
+
+        p = tmp_path / "wl.json"
+        p.write_text("not json")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            _load_workload_records(str(p))
+        p.write_text(json.dumps([{"source": 0}]))
+        with pytest.raises(SystemExit, match="source/target/categories"):
+            _load_workload_records(str(p))
+        p.write_text(json.dumps([]))
+        with pytest.raises(SystemExit, match="non-empty"):
+            _load_workload_records(str(p))
