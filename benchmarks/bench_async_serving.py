@@ -1,0 +1,139 @@
+"""Async serving throughput: coalesced front door vs sequential cold.
+
+The serving scenario behind the PR 4 acceptance bar: a burst of StarKOSR
+requests where many users ask the *same* question at the same time
+("routes to the airport via a gas station and a restaurant", from the
+same park-and-ride) — i.e. duplicate ``(s, t, C, k)`` requests inside
+shared-target groups.  Sequential-cold answers every request on a fresh
+universe (``engine.run``); the async front door coalesces identical
+in-flight requests onto one plan execution per unique query and serves
+groups over warm isolated sessions.
+
+Answers must stay bit-identical to the cold runs (asserted for every
+request, counters included); the throughput gap — bounded below by the
+duplication factor doing real work — is persisted to
+``benchmarks/results/bench_async_serving.json`` next to the batch
+service's throughput feed.
+"""
+
+import asyncio
+import random
+import time
+
+import pytest
+
+from benchmarks._shared import emit_json
+from repro import AsyncQueryService, QueryOptions, QueryRequest, make_query
+from repro.experiments import datasets as ds
+
+#: workload shape: shared-target groups x duplicated identical requests
+NUM_TARGETS = 4
+SOURCES_PER_TARGET = 3
+DUPLICATES = 5
+C_LEN = 3
+K = 6
+MAX_INFLIGHT = 2
+
+OPTIONS = QueryOptions(method="SK")
+
+
+@pytest.fixture(scope="module")
+def setting():
+    engine = ds.engine_for("CAL")
+    g = engine.graph
+    rng = random.Random(59)
+    unique = []
+    for _ in range(NUM_TARGETS):
+        target = rng.randrange(g.num_vertices)
+        cats = rng.sample(range(g.num_categories), C_LEN)
+        for _ in range(SOURCES_PER_TARGET):
+            unique.append(make_query(g, rng.randrange(g.num_vertices),
+                                     target, cats, k=K))
+    requests = [QueryRequest(q, OPTIONS) for q in unique
+                for _ in range(DUPLICATES)]
+    rng.shuffle(requests)
+    return engine, requests
+
+
+def _run_cold(engine, requests):
+    return [engine.run(r.query, r.options) for r in requests]
+
+
+async def _run_async(engine, requests):
+    async with AsyncQueryService(engine.service,
+                                 max_inflight=MAX_INFLIGHT) as front:
+        results = await front.gather(requests)
+        return results, front.stats.as_dict()
+
+
+def test_sequential_cold(benchmark, setting):
+    engine, requests = setting
+    benchmark(_run_cold, engine, requests)
+
+
+def test_async_coalesced(benchmark, setting):
+    engine, requests = setting
+    benchmark(lambda: asyncio.run(_run_async(engine, requests)))
+
+
+def test_async_serving_speedup(setting):
+    """Measure both paths back-to-back, assert parity, persist the gap."""
+    engine, requests = setting
+    # One throwaway pass per path so allocator/caches warm up evenly.
+    _run_cold(engine, requests[:5])
+    asyncio.run(_run_async(engine, requests[:5]))
+
+    t0 = time.perf_counter()
+    cold = _run_cold(engine, requests)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    served, serving_stats = asyncio.run(_run_async(engine, requests))
+    async_s = time.perf_counter() - t0
+
+    # Bit-identical to a cold engine for EVERY request (coalesced
+    # duplicates included): witnesses, costs, and the NN counter.
+    for c, w in zip(cold, served):
+        assert c.witnesses == w.witnesses
+        assert c.costs == w.costs
+        assert c.stats.nn_queries == w.stats.nn_queries
+
+    n = len(requests)
+    unique = NUM_TARGETS * SOURCES_PER_TARGET
+    assert serving_stats["executed"] + serving_stats["coalesced"] == n
+    assert serving_stats["executed"] < n  # coalescing did real work
+
+    payload = {
+        "workload": {
+            "dataset": "CAL",
+            "scale": ds.BENCH_SCALE,
+            "num_requests": n,
+            "unique_queries": unique,
+            "duplicates_per_query": DUPLICATES,
+            "num_targets": NUM_TARGETS,
+            "c_len": C_LEN,
+            "k": K,
+            "method": "SK",
+            "max_inflight": MAX_INFLIGHT,
+        },
+        "sequential_cold": {
+            "seconds": cold_s,
+            "requests_per_second": n / cold_s,
+        },
+        "async_coalesced": {
+            "seconds": async_s,
+            "requests_per_second": n / async_s,
+            "serving_stats": serving_stats,
+        },
+        "speedup": cold_s / async_s,
+        "parity": "bit-identical witnesses, costs, and nn_queries for "
+                  "every request vs sequential cold execution",
+    }
+    emit_json("bench_async_serving", payload)
+    print(f"\nasync serving: cold {n / cold_s:.1f} req/s, "
+          f"async-coalesced {n / async_s:.1f} req/s "
+          f"({serving_stats['executed']} executed, "
+          f"{serving_stats['coalesced']} coalesced), "
+          f"speedup {cold_s / async_s:.2f}x")
+    # The acceptance bar: async-coalesced throughput >= sequential cold.
+    assert async_s <= cold_s

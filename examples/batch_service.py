@@ -22,8 +22,11 @@ Run:  python examples/batch_service.py
 import random
 import time
 
-from repro import KOSREngine, make_query
+from repro import KOSREngine, QueryOptions, make_query
 from repro.graph import generators
+
+#: typed options (PR 4 API): one frozen object instead of kwargs copies
+SK = QueryOptions(method="SK")
 
 
 def main() -> None:
@@ -43,11 +46,11 @@ def main() -> None:
 
     # Baseline: every query a cold universe (the paper's setup).
     t0 = time.perf_counter()
-    cold = [engine.run(q, method="SK") for q in queries]
+    cold = [engine.run(q, SK) for q in queries]
     cold_s = time.perf_counter() - t0
 
     # The same workload through the warm batch path.
-    batch = engine.service.run_batch(queries, method="SK")
+    batch = engine.service.run_batch(queries, SK)
     print(f"{len(queries)} queries, {batch.num_groups} groups")
     print(f"sequential cold: {len(queries) / cold_s:7.1f} q/s")
     print(f"batched warm:    {batch.queries_per_second:7.1f} q/s "
@@ -70,10 +73,10 @@ def main() -> None:
     engine.add_vertex_to_category(new_member, 0)
     print(f"index epoch {epoch} -> {engine.index_epoch} after update")
 
-    followup = engine.service.run_batch(queries[:6], method="SK")
+    followup = engine.service.run_batch(queries[:6], SK)
     fresh = KOSREngine.build(graph)
     for q, w in zip(queries[:6], followup):
-        c = fresh.run(q, method="SK")
+        c = fresh.run(q, SK)
         assert c.witnesses == w.witnesses and c.stats.nn_queries == w.stats.nn_queries
     print(f"post-update batch matches a fresh engine "
           f"({followup.cache_stats['invalidations']} cache invalidation)")

@@ -30,6 +30,7 @@ from repro.exceptions import (
     NegativeWeightError,
     QueryError,
     ReproError,
+    ServiceOverloadedError,
     UnknownCategoryError,
     UnknownVertexError,
 )
@@ -54,7 +55,9 @@ from repro.core import (
     star_kosr,
 )
 from repro.core.query import make_query
+from repro.api import QueryOptions, QueryRequest
 from repro.service import BatchResult, QueryService
+from repro.server import AsyncQueryService
 
 __version__ = "1.0.0"
 
@@ -73,6 +76,7 @@ __all__ = [
     "NegativeWeightError",
     "QueryError",
     "ReproError",
+    "ServiceOverloadedError",
     "UnknownCategoryError",
     "UnknownVertexError",
     "Graph",
@@ -94,7 +98,10 @@ __all__ = [
     "pruning_kosr",
     "star_kosr",
     "make_query",
+    "AsyncQueryService",
     "BatchResult",
+    "QueryOptions",
+    "QueryRequest",
     "QueryService",
     "__version__",
 ]

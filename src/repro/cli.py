@@ -2,13 +2,15 @@
 
 Subcommands::
 
-    python -m repro.cli generate   --dataset FLA --scale 0.2 --out graph.json
-    python -m repro.cli info       --graph graph.json
-    python -m repro.cli preprocess --graph graph.json --out index_dir
-    python -m repro.cli query      --graph graph.json --source 0 --target 99 \
-                                   --categories cat0,cat3 --k 5 --method SK
-    python -m repro.cli batch      --graph graph.json --workload wl.json
-    python -m repro.cli figure     --name fig3a [--scale 0.2] [--queries 3]
+    python -m repro.cli generate    --dataset FLA --scale 0.2 --out graph.json
+    python -m repro.cli info        --graph graph.json
+    python -m repro.cli preprocess  --graph graph.json --out index_dir
+    python -m repro.cli query       --graph graph.json --source 0 --target 99 \
+                                    --categories cat0,cat3 --k 5 --method SK
+    python -m repro.cli batch       --graph graph.json --workload wl.json
+    python -m repro.cli async-batch --graph graph.json --workload wl.json
+    python -m repro.cli serve       --graph graph.json --port 8765
+    python -m repro.cli figure      --name fig3a [--scale 0.2] [--queries 3]
 
 ``generate`` writes a dataset analogue; ``preprocess`` builds the 2-hop
 label index (saving both the packed binary labels and the per-category
@@ -16,6 +18,8 @@ SK-DB shards); ``query`` answers a KOSR query, reusing a preprocessed
 index when ``--index`` is given (``--repeat N`` re-runs it through the
 warm session cache and reports cold- vs warm-cache latency); ``batch``
 executes a JSON workload through the query service's grouped batch path;
+``async-batch`` drives the same workload through the asyncio front door
+(coalescing + backpressure); ``serve`` runs the JSON-lines TCP server;
 ``figure`` regenerates one of the paper's tables/figures.
 """
 
@@ -28,12 +32,14 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
+from repro.api import QueryOptions, QueryRequest
 from repro.core.engine import BACKENDS, KOSREngine, METHODS, NN_BACKENDS
 from repro.experiments import figures as figure_defs
 from repro.experiments.reporting import format_table
 from repro.graph import generators
 from repro.graph.io import load_json, save_json
 from repro.labeling.packed import PackedLabelIndex
+from repro.service import QueryService
 
 FIGURES = {
     "table9": lambda a: figure_defs.table9_preprocessing(),
@@ -99,28 +105,74 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run the query N times through the warm session "
                           "cache and report cold- vs warm-cache latency")
 
+    def add_workload_args(p) -> None:
+        """Arguments shared by the `batch` and `async-batch` commands."""
+        p.add_argument("--graph", required=True)
+        p.add_argument("--index", help="directory written by `preprocess`")
+        p.add_argument("--workload", required=True,
+                       help="JSON workload file, or '-' for stdin: a list of "
+                            '{"source", "target", "categories", "k"?, '
+                            '"method"?} records (or {"queries": [...]})')
+        p.add_argument("--method", default="SK", choices=list(METHODS),
+                       help="default method for records that do not name one")
+        p.add_argument("--nn-backend", default="label",
+                       choices=list(NN_BACKENDS))
+        p.add_argument("--backend", default="packed", choices=list(BACKENDS))
+        p.add_argument("--overlay-ratio", type=float, default=None)
+        p.add_argument("--budget", type=int, default=None,
+                       help="per-query examined-route cap")
+        p.add_argument("--time-budget", type=float, default=None,
+                       help="per-query wall-time cap in seconds")
+        p.add_argument("--max-dest-kernels", type=int, default=None,
+                       help="LRU cap on warm per-target dis(.,t) kernels")
+        p.add_argument("--max-finders", type=int, default=None,
+                       help="LRU cap on warm FindNN cursors per session")
+        p.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit per-query stats as JSON instead of text")
+
     bat = sub.add_parser(
         "batch", help="answer a JSON workload through the batch service")
-    bat.add_argument("--graph", required=True)
-    bat.add_argument("--index", help="directory written by `preprocess`")
-    bat.add_argument("--workload", required=True,
-                     help="JSON workload file, or '-' for stdin: a list of "
-                          '{"source", "target", "categories", "k"?, '
-                          '"method"?} records (or {"queries": [...]})')
-    bat.add_argument("--method", default="SK", choices=list(METHODS),
-                     help="default method for records that do not name one")
-    bat.add_argument("--nn-backend", default="label", choices=list(NN_BACKENDS))
-    bat.add_argument("--backend", default="packed", choices=list(BACKENDS))
-    bat.add_argument("--overlay-ratio", type=float, default=None)
-    bat.add_argument("--budget", type=int, default=None,
-                     help="per-query examined-route cap")
-    bat.add_argument("--time-budget", type=float, default=None,
-                     help="per-query wall-time cap in seconds")
+    add_workload_args(bat)
     bat.add_argument("--max-workers", type=int, default=None,
                      help="run independent (target, categories) groups on a "
                           "thread pool of this size")
-    bat.add_argument("--json", action="store_true", dest="as_json",
-                     help="emit per-query stats as JSON instead of text")
+    bat.add_argument("--cache-stats", action="store_true",
+                     help="report session-cache hit/miss/eviction rates")
+
+    abat = sub.add_parser(
+        "async-batch",
+        help="drive a JSON workload through the asyncio serving front door "
+             "(request coalescing + bounded admission)")
+    add_workload_args(abat)
+    abat.add_argument("--max-inflight", type=int, default=4,
+                      help="concurrently executing requests (thread pool)")
+    abat.add_argument("--max-queue", type=int, default=None,
+                      help="admission bound; overflowing requests are "
+                           "rejected (default: unbounded)")
+    abat.add_argument("--max-groups", type=int, default=None,
+                      help="soft cap on live group workers (idle groups "
+                           "are retired first)")
+    abat.add_argument("--no-coalesce", action="store_true",
+                      help="disable coalescing of identical requests")
+
+    srv = sub.add_parser(
+        "serve", help="run the JSON-lines TCP query server")
+    srv.add_argument("--graph", required=True)
+    srv.add_argument("--index", help="directory written by `preprocess`")
+    srv.add_argument("--method", default="SK", choices=list(METHODS),
+                     help="default method for requests that do not name one")
+    srv.add_argument("--nn-backend", default="label", choices=list(NN_BACKENDS))
+    srv.add_argument("--backend", default="packed", choices=list(BACKENDS))
+    srv.add_argument("--overlay-ratio", type=float, default=None)
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8765)
+    srv.add_argument("--max-inflight", type=int, default=4)
+    srv.add_argument("--max-queue", type=int, default=256,
+                     help="admission bound; overflowing requests receive an "
+                          "overload response")
+    srv.add_argument("--max-groups", type=int, default=512,
+                     help="soft cap on live group workers (idle groups "
+                          "are retired first)")
 
     fig = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig.add_argument("--name", required=True, choices=sorted(FIGURES))
@@ -201,7 +253,8 @@ def _make_engine(args, needs_labels: Optional[bool] = None):
 
             engine._store = CategoryShardStore(shards)
         return engine
-    if args.method == "SK-DB" and args.command != "batch":
+    if (args.method == "SK-DB"
+            and args.command not in ("batch", "async-batch")):
         raise SystemExit("SK-DB needs --index (run `preprocess` first)")
     if needs_labels is None:
         needs_labels = (args.nn_backend == "label"
@@ -212,6 +265,16 @@ def _make_engine(args, needs_labels: Optional[bool] = None):
     return KOSREngine(graph)
 
 
+def _query_options(args) -> QueryOptions:
+    """The typed options shared by the CLI's query-running commands."""
+    return QueryOptions(
+        method=args.method, nn_backend=args.nn_backend, budget=args.budget,
+        time_budget_s=getattr(args, "time_budget", None),
+        restore_routes=getattr(args, "routes", False),
+        profile=getattr(args, "profile", False),
+    )
+
+
 def cmd_query(args) -> int:
     engine = _make_engine(args)
     categories: List = []
@@ -219,12 +282,8 @@ def cmd_query(args) -> int:
         token = token.strip()
         categories.append(int(token) if token.isdigit() else token)
     t0 = time.perf_counter()
-    result = engine.query(
-        args.source, args.target, categories, k=args.k,
-        method=args.method, nn_backend=args.nn_backend,
-        budget=args.budget, restore_routes=args.routes,
-        profile=args.profile,
-    )
+    result = engine.query(args.source, args.target, categories, k=args.k,
+                          options=_query_options(args))
     elapsed = time.perf_counter() - t0
     stats = result.stats
     if not stats.completed:
@@ -258,15 +317,12 @@ def _report_repeats(engine, args, categories, cold_result, cold_elapsed) -> None
     may change.
     """
     q = engine.make_query(args.source, args.target, categories, k=args.k)
+    options = _query_options(args)
     service = engine.service
     warm_ms: List[float] = []
     for _ in range(args.repeat - 1):
         t0 = time.perf_counter()
-        repeat = service.run(
-            q, method=args.method, nn_backend=args.nn_backend,
-            budget=args.budget, restore_routes=args.routes,
-            profile=args.profile,
-        )
+        repeat = service.run(q, options)
         warm_ms.append((time.perf_counter() - t0) * 1000.0)
         if (repeat.witnesses != cold_result.witnesses
                 or repeat.stats.nn_queries != cold_result.stats.nn_queries):
@@ -302,8 +358,14 @@ def _load_workload_records(spec: str) -> List[dict]:
     return payload
 
 
-def cmd_batch(args) -> int:
-    """Run a JSON workload through ``QueryService.run_batch``."""
+def _prepare_workload(args):
+    """Shared `batch`/`async-batch` setup: engine + per-record queries.
+
+    Returns ``(engine, items)`` where ``items`` is a list of
+    ``(index, method, query)`` aligned with the workload records.  Fails
+    fast — before any query runs — on unknown methods/backends and on
+    SK-DB without an index directory.
+    """
     records = _load_workload_records(args.workload)
     methods = {record.get("method", args.method) for record in records}
     # Label indexes are the dominant startup cost; skip the build when no
@@ -311,8 +373,6 @@ def cmd_batch(args) -> int:
     needs_labels = (args.nn_backend == "label"
                     and any(m not in ("GSP", "GSP-CH") for m in methods))
     engine = _make_engine(args, needs_labels=needs_labels)
-    # Fail fast — before any query runs — on unknown methods/backends and
-    # on SK-DB without an index directory.
     from repro.exceptions import QueryError
     from repro.service import resolve_plan
 
@@ -323,42 +383,81 @@ def cmd_batch(args) -> int:
             raise SystemExit(str(exc))
         if method == "SK-DB" and engine._store is None:
             raise SystemExit("SK-DB needs --index (run `preprocess` first)")
-    # Records may override the method; group by it so each homogeneous
-    # sub-batch flows through one run_batch call (grouping by
-    # (target, categories) happens inside the service).
-    by_method: dict = {}
+    items = []
     for i, record in enumerate(records):
         cats = [int(c) if isinstance(c, str) and c.isdigit() else c
                 for c in record["categories"]]
         q = engine.make_query(record["source"], record["target"], cats,
                               k=int(record.get("k", 1)))
-        by_method.setdefault(record.get("method", args.method), []).append((i, q))
-    rows = [None] * len(records)
-    service = engine.service
+        items.append((i, record.get("method", args.method), q))
+    return engine, items
+
+
+def _result_row(method: str, result) -> dict:
+    s = result.stats
+    return {
+        "method": method,
+        "costs": result.costs,
+        "witnesses": [list(w) for w in result.witnesses],
+        "examined_routes": s.examined_routes,
+        "nn_queries": s.nn_queries,
+        "completed": s.completed,
+        "time_ms": s.total_time * 1000.0,
+    }
+
+
+def _print_rows(rows) -> None:
+    for i, row in enumerate(rows):
+        status = "ok" if row["completed"] else "INF"
+        best = f"{row['costs'][0]:g}" if row["costs"] else "-"
+        print(f"#{i} [{row['method']}] best {best} "
+              f"({len(row['costs'])} results), "
+              f"{row['examined_routes']} examined, "
+              f"{row['nn_queries']} NN, {row['time_ms']:.2f} ms {status}")
+
+
+def _print_cache_rates(cache_totals: dict) -> None:
+    """Hit/miss/eviction observability (`batch --cache-stats`)."""
+    for kind in ("finder", "dest_kernel", "ch", "disk_view"):
+        hits = cache_totals.get(f"{kind}_hits", 0)
+        misses = cache_totals.get(f"{kind}_misses", 0)
+        total = hits + misses
+        if not total:
+            continue
+        print(f"  {kind}: {hits}/{total} hits ({100.0 * hits / total:.1f}%)")
+    evicted = (cache_totals.get("dest_kernel_evictions", 0),
+               cache_totals.get("cursor_evictions", 0))
+    print(f"  evictions: {evicted[0]} dest kernels, {evicted[1]} cursors; "
+          f"{cache_totals.get('invalidations', 0)} epoch invalidations")
+
+
+def cmd_batch(args) -> int:
+    """Run a JSON workload through ``QueryService.run_batch``."""
+    engine, items = _prepare_workload(args)
+    options = _query_options(args)
+    # Records may override the method; group by it so each homogeneous
+    # sub-batch flows through one run_batch call (grouping by
+    # (target, categories) happens inside the service).
+    by_method: dict = {}
+    for i, method, q in items:
+        by_method.setdefault(method, []).append((i, q))
+    rows = [None] * len(items)
+    service = QueryService(engine, max_dest_kernels=args.max_dest_kernels,
+                           max_finders=args.max_finders)
     wall = 0.0
     groups = 0
     cache_totals: dict = {}
-    for method, items in by_method.items():
+    for method, method_items in by_method.items():
         batch = service.run_batch(
-            [q for _, q in items], method=method, nn_backend=args.nn_backend,
-            budget=args.budget, time_budget_s=args.time_budget,
+            [q for _, q in method_items], options.replace(method=method),
             max_workers=args.max_workers,
         )
         wall += batch.wall_time_s
         groups += batch.num_groups
         for name, value in batch.cache_stats.items():
             cache_totals[name] = cache_totals.get(name, 0) + value
-        for (i, _), result in zip(items, batch):
-            s = result.stats
-            rows[i] = {
-                "method": method,
-                "costs": result.costs,
-                "witnesses": [list(w) for w in result.witnesses],
-                "examined_routes": s.examined_routes,
-                "nn_queries": s.nn_queries,
-                "completed": s.completed,
-                "time_ms": s.total_time * 1000.0,
-            }
+        for (i, _), result in zip(method_items, batch):
+            rows[i] = _result_row(method, result)
     unfinished = sum(1 for r in rows if not r["completed"])
     if args.as_json:
         print(json.dumps({
@@ -370,17 +469,110 @@ def cmd_batch(args) -> int:
             "cache_stats": cache_totals,
         }, indent=2))
     else:
-        for i, row in enumerate(rows):
-            status = "ok" if row["completed"] else "INF"
-            best = f"{row['costs'][0]:g}" if row["costs"] else "-"
-            print(f"#{i} [{row['method']}] best {best} "
-                  f"({len(row['costs'])} results), "
-                  f"{row['examined_routes']} examined, "
-                  f"{row['nn_queries']} NN, {row['time_ms']:.2f} ms {status}")
+        _print_rows(rows)
         qps = len(rows) / wall if wall else float("inf")
         print(f"batch: {len(rows)} queries in {wall * 1000:.1f} ms "
               f"({qps:.1f} q/s), {groups} groups, {unfinished} unfinished")
+        if args.cache_stats:
+            _print_cache_rates(cache_totals)
     return 0 if unfinished == 0 else 2
+
+
+def cmd_async_batch(args) -> int:
+    """Drive a workload through the asyncio front door (`async-batch`)."""
+    import asyncio
+
+    from repro.server import AsyncQueryService
+
+    engine, items = _prepare_workload(args)
+    base = _query_options(args)
+    requests = [QueryRequest(q, base.replace(method=method))
+                for _, method, q in items]
+    service = QueryService(engine, max_dest_kernels=args.max_dest_kernels,
+                           max_finders=args.max_finders)
+
+    async def drive():
+        async with AsyncQueryService(
+                service, max_inflight=args.max_inflight,
+                max_queue=args.max_queue, max_groups=args.max_groups,
+                coalesce=not args.no_coalesce) as front:
+            t0 = time.perf_counter()
+            # Per-request settlement: an overload rejection (or query
+            # error) becomes an error row, not a command crash.
+            results = await asyncio.gather(
+                *(front.submit(r) for r in requests),
+                return_exceptions=True)
+            return results, time.perf_counter() - t0, front.stats.as_dict()
+
+    results, wall, serving = asyncio.run(drive())
+    rows = []
+    for (_, method, _), result in zip(items, results):
+        if isinstance(result, BaseException):
+            rows.append({"method": method, "error": str(result),
+                         "kind": type(result).__name__, "completed": False,
+                         "costs": [], "witnesses": [],
+                         "examined_routes": 0, "nn_queries": 0,
+                         "time_ms": 0.0})
+        else:
+            rows.append(_result_row(method, result))
+    unfinished = sum(1 for r in rows if not r["completed"])
+    if args.as_json:
+        print(json.dumps({
+            "queries": rows,
+            "wall_time_s": wall,
+            "queries_per_second": len(rows) / wall if wall else float("inf"),
+            "unfinished": unfinished,
+            "serving_stats": serving,
+        }, indent=2))
+    else:
+        for i, row in enumerate(rows):
+            if "error" in row:
+                print(f"#{i} [{row['method']}] {row['kind']}: {row['error']}")
+            else:
+                status = "ok" if row["completed"] else "INF"
+                best = f"{row['costs'][0]:g}" if row["costs"] else "-"
+                print(f"#{i} [{row['method']}] best {best} "
+                      f"({len(row['costs'])} results), "
+                      f"{row['examined_routes']} examined, "
+                      f"{row['nn_queries']} NN, {row['time_ms']:.2f} ms "
+                      f"{status}")
+        qps = len(rows) / wall if wall else float("inf")
+        print(f"async-batch: {len(rows)} requests in {wall * 1000:.1f} ms "
+              f"({qps:.1f} q/s), {serving['executed']} executed, "
+              f"{serving['coalesced']} coalesced, "
+              f"{serving['rejected']} rejected")
+    return 0 if unfinished == 0 else 2
+
+
+def cmd_serve(args) -> int:
+    """Run the JSON-lines TCP server until interrupted (`serve`)."""
+    import asyncio
+
+    from repro.server.tcp import serve as tcp_serve
+
+    engine = _make_engine(args)
+    defaults = QueryOptions(method=args.method, nn_backend=args.nn_backend)
+
+    async def main_loop():
+        server = await tcp_serve(
+            engine, args.host, args.port, defaults=defaults,
+            max_inflight=args.max_inflight, max_queue=args.max_queue,
+            max_groups=args.max_groups)
+        addr = server.sockets[0].getsockname()
+        print(f"serving KOSR queries on {addr[0]}:{addr[1]} "
+              f"(method={args.method}, max_inflight={args.max_inflight}, "
+              f"max_queue={args.max_queue})")
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            await server.query_service.close()
+
+    try:
+        asyncio.run(main_loop())
+    except KeyboardInterrupt:
+        print("interrupted, shutting down")
+    return 0
 
 
 def cmd_figure(args) -> int:
@@ -417,6 +609,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "preprocess": cmd_preprocess,
         "query": cmd_query,
         "batch": cmd_batch,
+        "async-batch": cmd_async_batch,
+        "serve": cmd_serve,
         "figure": cmd_figure,
     }
     return handlers[args.command](args)

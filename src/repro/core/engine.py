@@ -49,6 +49,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.api import DEFAULT_OPTIONS, QueryOptions, merge_query_kwargs
 from repro.core.query import KOSRQuery, make_query
 from repro.core.stats import PreprocessingStats, QueryStats
 from repro.exceptions import BudgetExceededError, QueryError  # noqa: F401  (re-export)
@@ -69,7 +70,6 @@ from repro.service.planner import (
     METHODS,
     NN_BACKENDS,
     check_backend,
-    resolve_plan,
 )
 from repro.service.service import QueryService
 from repro.types import CategoryId, Route, SequencedResult, Vertex
@@ -371,57 +371,64 @@ class KOSREngine:
         target: Vertex,
         categories: Sequence[Union[str, CategoryId]],
         k: int = 1,
-        method: str = "SK",
-        nn_backend: str = "label",
+        method: Optional[str] = None,
+        nn_backend: Optional[str] = None,
         budget: Optional[int] = None,
         time_budget_s: Optional[float] = None,
-        restore_routes: bool = False,
-        profile: bool = False,
+        restore_routes: Optional[bool] = None,
+        strict_budget: Optional[bool] = None,
+        profile: Optional[bool] = None,
+        options: Optional[QueryOptions] = None,
     ) -> KOSRResult:
-        """Answer a KOSR query.
+        """Answer a KOSR query (the documented one-liner).
 
-        ``budget`` caps examined routes and ``time_budget_s`` caps wall time
+        ``method`` defaults to ``"SK"`` and ``nn_backend`` to ``"label"``
+        (the library-wide :data:`~repro.api.DEFAULT_OPTIONS`).  ``budget``
+        caps examined routes and ``time_budget_s`` caps wall time
         (``stats.completed`` turns False when either is hit — the paper's
-        INF).  ``restore_routes`` additionally materialises each witness
-        into an actual vertex-by-vertex route via label parent pointers.
-        ``profile`` opts into the per-operation Table X timers
+        INF); ``strict_budget`` escalates either guard into
+        :class:`~repro.exceptions.BudgetExceededError`.  ``restore_routes``
+        additionally materialises each witness into an actual
+        vertex-by-vertex route via label parent pointers.  ``profile`` opts
+        into the per-operation Table X timers
         (``nn_time``/``queue_time``/``estimation_time``); by default the
         hot loops run instrumentation-free and those fields stay 0.0 while
         every counter still populates.
+
+        The keywords are sugar over one :class:`~repro.api.QueryOptions`:
+        explicitly-passed keywords layer over ``options`` (same merge
+        semantics as the :meth:`run` shim), so this path can never drift
+        from :meth:`run` again.
         """
         q = self.make_query(source, target, categories, k)
-        return self.run(q, method=method, nn_backend=nn_backend, budget=budget,
-                        time_budget_s=time_budget_s, restore_routes=restore_routes,
-                        profile=profile)
+        overrides = {name: value for name, value in (
+            ("method", method), ("nn_backend", nn_backend),
+            ("budget", budget), ("time_budget_s", time_budget_s),
+            ("restore_routes", restore_routes),
+            ("strict_budget", strict_budget), ("profile", profile),
+        ) if value is not None}
+        base = options if options is not None else DEFAULT_OPTIONS
+        return self.run(q, base.replace(**overrides) if overrides else base)
 
     def run(
         self,
         q: KOSRQuery,
-        method: str = "SK",
-        nn_backend: str = "label",
-        budget: Optional[int] = None,
-        time_budget_s: Optional[float] = None,
-        restore_routes: bool = False,
-        strict_budget: bool = False,
-        profile: bool = False,
+        options: Optional[QueryOptions] = None,
+        **legacy_kwargs,
     ) -> KOSRResult:
         """Answer a prevalidated :class:`KOSRQuery` with cold resources.
 
-        The method dispatch resolves through the service layer's planner
-        registry; execution builds a fresh finder and fresh memos per
-        query (the paper's measurement setup).  With ``strict_budget`` a
-        guard hit raises :class:`~repro.exceptions.BudgetExceededError`
-        instead of returning a partial result with
-        ``stats.completed = False``.  ``profile`` enables the
-        per-operation Table X timers (see :meth:`query`).  For warm
-        cross-query caching and batched workloads use :attr:`service`.
+        ``options`` (a :class:`~repro.api.QueryOptions`, defaulting to
+        :data:`~repro.api.DEFAULT_OPTIONS`) selects the method/backends
+        and execution knobs; the pre-PR-4 keyword style still works via a
+        deprecation shim.  The method dispatch resolves through the
+        service layer's planner registry; execution builds a fresh finder
+        and fresh memos per query (the paper's measurement setup).  For
+        warm cross-query caching and batched workloads use
+        :attr:`service`.
         """
-        plan = resolve_plan(method, nn_backend, self.backend)
-        return execute_plan(
-            self, plan, q, budget=budget, time_budget_s=time_budget_s,
-            restore_routes=restore_routes, strict_budget=strict_budget,
-            profile=profile,
-        )
+        options = merge_query_kwargs(options, legacy_kwargs, "KOSREngine.run")
+        return execute_plan(self, options.plan_for(self.backend), q, options)
 
     def contraction_hierarchy(self):
         """The engine's CH (built lazily, cached; used by GSP-CH)."""

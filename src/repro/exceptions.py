@@ -49,6 +49,23 @@ class IndexStorageError(ReproError):
     """Raised when reading or writing a serialized index fails."""
 
 
+class ServiceOverloadedError(ReproError):
+    """The async serving front-end rejected a request (backpressure).
+
+    Raised by :meth:`repro.server.AsyncQueryService.submit` when the
+    bounded admission queue is full (``max_queue`` requests already
+    pending).  Callers should shed load or retry after a delay.
+    """
+
+    def __init__(self, pending: int, max_queue: int):
+        super().__init__(
+            f"admission queue full: {pending} requests pending "
+            f"(max_queue={max_queue})"
+        )
+        self.pending = pending
+        self.max_queue = max_queue
+
+
 class BudgetExceededError(ReproError):
     """An algorithm exceeded its examined-route budget.
 

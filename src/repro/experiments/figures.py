@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api import QueryOptions
 from repro.core.engine import KOSREngine
 from repro.experiments import datasets as ds
 from repro.experiments.runner import (
@@ -350,10 +351,11 @@ def ablation_design_choices(
     rows: List[Row] = []
     for label, method, backend in combos:
         agg = MethodAggregate(label=label)
+        options = QueryOptions(method=method, nn_backend=backend,
+                               budget=DEFAULT_EXAMINED_BUDGET,
+                               time_budget_s=DEFAULT_TIME_BUDGET_S)
         for query in workload:
-            result = engine.run(query, method=method, nn_backend=backend,
-                                budget=DEFAULT_EXAMINED_BUDGET,
-                                time_budget_s=DEFAULT_TIME_BUDGET_S)
+            result = engine.run(query, options)
             agg.add(result.stats)
         rows.append(_agg_row(agg, variant=label))
     return rows, ["variant", "time_ms", "examined_routes", "nn_queries", "unfinished"]

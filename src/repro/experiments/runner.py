@@ -13,6 +13,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.api import QueryOptions
 from repro.core.engine import KOSREngine
 from repro.core.stats import QueryStats
 from repro.experiments.workload import Workload
@@ -132,12 +133,11 @@ def run_workload(
 
         disk_store_for(engine)
     agg = MethodAggregate(label=label)
+    options = QueryOptions(method=method, nn_backend=backend, budget=budget,
+                           time_budget_s=time_budget_s, profile=profile)
     run = engine.service.run if warm else engine.run
     for query in workload:
-        result = run(
-            query, method=method, nn_backend=backend,
-            budget=budget, time_budget_s=time_budget_s, profile=profile,
-        )
+        result = run(query, options)
         agg.add(result.stats)
         if agg.unfinished and stop_after_first_unfinished:
             break

@@ -1,0 +1,15 @@
+"""repro.server — the asyncio serving front-end.
+
+* :mod:`repro.server.async_service` — :class:`AsyncQueryService`:
+  per-``(target, categories)`` group workers over isolated warm
+  sessions, coalescing of identical in-flight requests, and bounded
+  admission (backpressure via
+  :class:`~repro.exceptions.ServiceOverloadedError`);
+* :mod:`repro.server.tcp` — a JSON-lines TCP front door
+  (``repro.cli serve``).
+"""
+
+from repro.server.async_service import AsyncQueryService, ServingStats
+from repro.server.tcp import serve
+
+__all__ = ["AsyncQueryService", "ServingStats", "serve"]

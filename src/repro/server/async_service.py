@@ -1,0 +1,327 @@
+"""The asyncio serving front-end over the warm :class:`QueryService`.
+
+:class:`AsyncQueryService` turns the batch service into an online front
+door for concurrent request traffic (the ROADMAP's async-serving item):
+
+* **Per-group workers** — requests are routed to one asyncio worker task
+  per ``(target, categories)`` group, reusing the batch executor's
+  session-isolation seam: each worker owns a private
+  :class:`~repro.service.cache.SessionCache`, so groupmates share the
+  warm ``dis(·, t)`` kernel and FindNN streams while groups never touch
+  each other's state.  Within a group, execution is serialized (warm
+  sessions are not thread-safe); across groups it overlaps up to
+  ``max_inflight`` on a thread pool.
+* **Coalescing** — identical in-flight requests (equal
+  :attr:`~repro.api.QueryRequest.key`, i.e. the same ``(s, t, C, k)``
+  and options) resolve onto one future: one plan execution answers all
+  concurrent holders with the *same result object*.  Deterministic
+  streams + epoch validation make this safe; the async test suite pins
+  it.
+* **Backpressure** — admission is bounded: at most ``max_queue``
+  requests may be pending (admitted, not yet answered).  Past that,
+  :meth:`submit` raises
+  :class:`~repro.exceptions.ServiceOverloadedError` so callers shed load
+  instead of growing an unbounded queue.
+* **Update safety** — blocking plan execution runs in the thread pool,
+  and packed delta overlays are folded *before* a request is dispatched
+  whenever an index is dirty (draining in-flight executions first),
+  exactly as ``run_batch`` pre-folds for its worker threads: cursor
+  creation then only ever reads the engine's buffers.  Index mutations
+  themselves must come from the event-loop thread, ideally with no
+  requests in flight (``await front.drain()`` first — the same
+  no-updates-mid-batch contract as every other engine use); the
+  per-worker sessions epoch-validate on every query, so a mutation is
+  visible to all subsequent requests exactly like a cold engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.api import DEFAULT_OPTIONS, QueryOptions, QueryRequest
+from repro.core.query import KOSRQuery
+from repro.exceptions import ServiceOverloadedError
+from repro.service.cache import SessionCache
+from repro.service.service import QueryService
+
+
+class ServingStats:
+    """Front-door counters: admission, coalescing, and execution."""
+
+    __slots__ = ("submitted", "coalesced", "rejected", "executed",
+                 "overlay_folds", "groups_retired")
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class AsyncQueryService:
+    """Bounded, coalescing asyncio front-end over one warm service.
+
+    Construct from a :class:`QueryService` (or anything with a
+    ``.service`` attribute, e.g. a :class:`KOSREngine`).  Use as an async
+    context manager, or call :meth:`close` when done — it stops the group
+    workers and shuts the thread pool down.
+
+    ``max_inflight`` bounds concurrently *executing* requests (thread
+    pool width); ``max_queue`` bounds *pending* requests (admitted but
+    unanswered, executing included) — ``None`` disables admission
+    control.  ``max_groups`` bounds the live group workers: when a new
+    group would exceed it, an *idle* group (no outstanding requests) is
+    retired first, dropping its warm session — a soft cap, since busy
+    groups are never evicted.  ``coalesce=False`` turns request
+    coalescing off (every request executes its own plan).
+    """
+
+    def __init__(self, service, *, max_inflight: int = 4,
+                 max_queue: Optional[int] = None,
+                 max_groups: Optional[int] = None, coalesce: bool = True):
+        if not isinstance(service, QueryService):
+            service = service.service
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1 (or None)")
+        if max_groups is not None and max_groups < 1:
+            raise ValueError("max_groups must be >= 1 (or None)")
+        self.service = service
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.max_groups = max_groups
+        self.coalesce = coalesce
+        self.stats = ServingStats()
+        self._pool = ThreadPoolExecutor(max_workers=max_inflight,
+                                        thread_name_prefix="repro-serve")
+        self._sem = asyncio.Semaphore(max_inflight)
+        #: group key -> (request queue, worker task, warm session)
+        self._groups: Dict[Tuple, Tuple[asyncio.Queue, asyncio.Task,
+                                        SessionCache]] = {}
+        #: group key -> outstanding (enqueued or executing) requests
+        self._group_load: Dict[Tuple, int] = {}
+        #: coalescing map: request key -> in-flight future
+        self._inflight: Dict[Tuple, asyncio.Future] = {}
+        self._pending = 0
+        self._executing = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._no_pending = asyncio.Event()
+        self._no_pending.set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "AsyncQueryService":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        """Drain the group workers and shut the thread pool down."""
+        if self._closed:
+            return
+        self._closed = True
+        for queue, _task, _session in self._groups.values():
+            queue.put_nowait(None)
+        tasks = [task for _, task, _ in self._groups.values()]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._groups.clear()
+        self._pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet answered (executing included)."""
+        return self._pending
+
+    async def drain(self) -> None:
+        """Wait until no request is pending (e.g. before index updates)."""
+        await self._no_pending.wait()
+
+    @staticmethod
+    def _coerce(request: Union[QueryRequest, KOSRQuery],
+                options: Optional[QueryOptions]) -> QueryRequest:
+        if isinstance(request, QueryRequest):
+            return request
+        return QueryRequest(request,
+                            options if options is not None else DEFAULT_OPTIONS)
+
+    async def submit(self, request: Union[QueryRequest, KOSRQuery],
+                     options: Optional[QueryOptions] = None):
+        """Answer one request; returns a ``KOSRResult``.
+
+        Accepts a :class:`~repro.api.QueryRequest` or a bare
+        :class:`KOSRQuery` plus ``options``.  Identical in-flight
+        requests coalesce onto one execution (all callers receive the
+        same result object).  Raises
+        :class:`~repro.exceptions.ServiceOverloadedError` when the
+        admission queue is full, and re-raises whatever the plan
+        execution raised (``QueryError``, ``BudgetExceededError``, ...)
+        for every coalesced waiter.
+        """
+        if self._closed:
+            raise RuntimeError("AsyncQueryService is closed")
+        request = self._coerce(request, options)
+        self.stats.submitted += 1
+        key = request.key
+        if self.coalesce:
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                self.stats.coalesced += 1
+                # shield: one waiter's cancellation must not cancel the
+                # shared execution out from under the others.
+                return await asyncio.shield(inflight)
+        if self.max_queue is not None and self._pending >= self.max_queue:
+            self.stats.rejected += 1
+            raise ServiceOverloadedError(self._pending, self.max_queue)
+        future = asyncio.get_running_loop().create_future()
+        if self.coalesce:
+            self._inflight[key] = future
+        group_key = request.group_key
+        self._pending += 1
+        self._no_pending.clear()
+        self._group_load[group_key] = self._group_load.get(group_key, 0) + 1
+        self._group_queue(group_key).put_nowait((request, key, group_key,
+                                                 future))
+        return await asyncio.shield(future)
+
+    async def gather(self, requests: Sequence[Union[QueryRequest, KOSRQuery]],
+                     options: Optional[QueryOptions] = None) -> List:
+        """Submit a whole workload concurrently; results in input order.
+
+        The async analogue of ``QueryService.run_batch`` — duplicates
+        coalesce and distinct groups overlap.  Any rejection or query
+        error propagates (submit individually to handle overload per
+        request).
+        """
+        return await asyncio.gather(
+            *(self.submit(r, options) for r in requests))
+
+    # ------------------------------------------------------------------
+    def group_sessions(self) -> Dict[Tuple, SessionCache]:
+        """The live per-group warm sessions (observability/tests)."""
+        return {key: session for key, (_q, _t, session)
+                in self._groups.items()}
+
+    def _group_queue(self, group_key: Tuple) -> asyncio.Queue:
+        entry = self._groups.get(group_key)
+        if entry is None:
+            if self.max_groups is not None:
+                self._evict_idle_groups()
+            queue: asyncio.Queue = asyncio.Queue()
+            session = self.service.new_session()
+            task = asyncio.get_running_loop().create_task(
+                self._group_worker(queue, session))
+            entry = (queue, task, session)
+            self._groups[group_key] = entry
+        return entry[0]
+
+    def _evict_idle_groups(self) -> None:
+        """Retire idle workers so a new group stays within ``max_groups``.
+
+        A soft LRU-by-creation cap: only groups with zero outstanding
+        requests are retired (their worker sees the ``None`` sentinel
+        immediately — the queue is empty — and exits, dropping the warm
+        session).  If every group is busy, the cap is allowed to
+        overshoot; ``max_queue`` already bounds total outstanding work.
+        """
+        while len(self._groups) >= self.max_groups:
+            idle = next((gk for gk in self._groups
+                         if not self._group_load.get(gk)), None)
+            if idle is None:
+                return
+            queue, _task, _session = self._groups.pop(idle)
+            self._group_load.pop(idle, None)
+            queue.put_nowait(None)
+            self.stats.groups_retired += 1
+
+    async def _group_worker(self, queue: asyncio.Queue,
+                            session: SessionCache) -> None:
+        """Serve one group's requests serially over its warm session.
+
+        Every path out of a request — success, executor failure, or an
+        exception from the barrier/semaphore plumbing itself — resolves
+        the caller's future; the worker only exits on the ``None``
+        shutdown sentinel (or cancellation), never because one request
+        failed.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await queue.get()
+            if item is None:
+                return
+            request, key, group_key, future = item
+            try:
+                async with self._sem:
+                    await self._overlay_barrier()
+                    self._executing += 1
+                    self._idle.clear()
+                    try:
+                        result = await loop.run_in_executor(
+                            self._pool, self._execute, request, session)
+                    except Exception as exc:
+                        if not future.done():
+                            future.set_exception(exc)
+                    else:
+                        self.stats.executed += 1
+                        if not future.done():
+                            future.set_result(result)
+                    finally:
+                        self._executing -= 1
+                        if self._executing == 0:
+                            self._idle.set()
+            except BaseException as exc:  # plumbing failed — still answer
+                if not future.done():
+                    future.set_exception(
+                        exc if isinstance(exc, Exception)
+                        else RuntimeError(f"serving worker interrupted: "
+                                          f"{exc!r}"))
+                if not isinstance(exc, Exception):
+                    raise  # CancelledError and friends must propagate
+            finally:
+                self._pending -= 1
+                if self._pending == 0:
+                    self._no_pending.set()
+                if self._inflight.get(key) is future:
+                    del self._inflight[key]
+                load = self._group_load.get(group_key, 1) - 1
+                if load > 0:
+                    self._group_load[group_key] = load
+                else:
+                    self._group_load.pop(group_key, None)
+                queue.task_done()
+
+    def _execute(self, request: QueryRequest, session: SessionCache):
+        """Blocking plan execution (runs on the thread pool)."""
+        return self.service.run(request.query, request.options,
+                                session=session)
+
+    # ------------------------------------------------------------------
+    def _dirty_overlays(self) -> bool:
+        inverted = self.service.engine.inverted
+        return bool(inverted) and any(getattr(il, "dirty", False)
+                                      for il in inverted.values())
+
+    async def _overlay_barrier(self) -> None:
+        """Fold dirty packed overlays before dispatching to a thread.
+
+        Lazy cursor-time patching mutates the engine's shared buffers —
+        fine on one thread, a data race across pool workers.  When an
+        overlay is dirty, wait for in-flight executions to drain, fold
+        on the event-loop thread (single-threaded, so no new execution
+        can start mid-fold), then proceed.  The fold is purely physical:
+        no epoch change, identical results (same guarantee ``run_batch``
+        relies on for its pre-fold).
+        """
+        while self._dirty_overlays():
+            if self._executing == 0:
+                self.service._fold_pending_overlays()
+                self.stats.overlay_folds += 1
+                return
+            await self._idle.wait()

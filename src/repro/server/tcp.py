@@ -1,0 +1,114 @@
+"""A JSON-lines TCP front door over :class:`AsyncQueryService`.
+
+The minimal network face of the serving stack (``repro.cli serve``):
+each connection sends newline-delimited JSON request records and
+receives one JSON response line per request, in request order per
+connection.  Records mirror the batch workload format::
+
+    {"source": 0, "target": 42, "categories": [0, 3], "k": 5,
+     "method": "SK", "id": "req-1"}
+
+``id`` (optional) is echoed back.  Good answers carry ``costs``,
+``witnesses``, and the headline ``QueryStats`` counters; failures carry
+``error`` (+ ``overloaded: true`` for backpressure rejections, so
+clients can distinguish shed load from bad requests).  Concurrency,
+coalescing, and backpressure all come from the wrapped
+:class:`~repro.server.async_service.AsyncQueryService`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.api import QueryOptions, QueryRequest
+from repro.exceptions import ReproError, ServiceOverloadedError
+from repro.server.async_service import AsyncQueryService
+
+
+def _parse_record(engine, record: dict,
+                  defaults: QueryOptions) -> QueryRequest:
+    for field in ("source", "target", "categories"):
+        if field not in record:
+            raise ValueError(f"request record needs {field!r}")
+    cats = [int(c) if isinstance(c, str) and c.isdigit() else c
+            for c in record["categories"]]
+    query = engine.make_query(record["source"], record["target"], cats,
+                              k=int(record.get("k", 1)))
+    overrides = {name: record[name] for name
+                 in ("method", "nn_backend", "budget", "time_budget_s")
+                 if name in record}
+    options = defaults.replace(**overrides) if overrides else defaults
+    return QueryRequest(query, options)
+
+
+def _encode_result(result, request_id) -> dict:
+    stats = result.stats
+    return {
+        "id": request_id,
+        "costs": result.costs,
+        "witnesses": [list(w) for w in result.witnesses],
+        "completed": stats.completed,
+        "examined_routes": stats.examined_routes,
+        "nn_queries": stats.nn_queries,
+        "time_ms": stats.total_time * 1000.0,
+    }
+
+
+def _encode_error(exc: BaseException, request_id) -> dict:
+    payload = {"id": request_id, "error": str(exc),
+               "kind": type(exc).__name__}
+    if isinstance(exc, ServiceOverloadedError):
+        payload["overloaded"] = True
+    return payload
+
+
+async def serve(engine, host: str = "127.0.0.1", port: int = 0, *,
+                defaults: Optional[QueryOptions] = None,
+                max_inflight: int = 4,
+                max_queue: Optional[int] = None,
+                max_groups: Optional[int] = None) -> asyncio.AbstractServer:
+    """Start the TCP server; returns the listening ``asyncio`` server.
+
+    The caller owns the server's lifetime (``async with server:`` /
+    ``server.serve_forever()``); the wrapped front door is exposed as
+    ``server.query_service`` — await its ``close()`` after closing the
+    server (the CLI does both).
+    """
+    options = defaults if defaults is not None else QueryOptions()
+    aqs = AsyncQueryService(engine.service, max_inflight=max_inflight,
+                            max_queue=max_queue, max_groups=max_groups)
+
+    async def handle(reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                request_id = None
+                try:
+                    record = json.loads(line)
+                    request_id = record.get("id") if isinstance(record, dict) \
+                        else None
+                    request = _parse_record(engine, record, options)
+                    result = await aqs.submit(request)
+                    response = _encode_result(result, request_id)
+                except (ValueError, TypeError, KeyError, ReproError) as exc:
+                    response = _encode_error(exc, request_id)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    server = await asyncio.start_server(handle, host, port)
+    server.query_service = aqs  # type: ignore[attr-defined]
+    return server

@@ -8,7 +8,13 @@
   runner used by both the engine facade and the batch service;
 * :mod:`repro.service.service` — :class:`QueryService` with grouped
   :meth:`~QueryService.run_batch` execution.
+
+The typed request/response vocabulary (:class:`~repro.api.QueryOptions`
+/ :class:`~repro.api.QueryRequest`) lives in :mod:`repro.api`; the
+asyncio front-end over this layer lives in :mod:`repro.server`.
 """
+
+from repro.api import DEFAULT_OPTIONS, QueryOptions, QueryRequest
 
 from repro.service.cache import (
     CacheStats,
@@ -35,10 +41,13 @@ __all__ = [
     "CacheStats",
     "ColdEquivalentFinderView",
     "ColdResources",
+    "DEFAULT_OPTIONS",
     "ExecutorSpec",
     "METHODS",
     "NN_BACKENDS",
+    "QueryOptions",
     "QueryPlan",
+    "QueryRequest",
     "QueryService",
     "SessionCache",
     "SharedDestKernel",

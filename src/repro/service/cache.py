@@ -35,6 +35,7 @@ answer is byte-for-byte the cold answer.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.labeling.storage import CategoryShardStore, QueryLabelView
@@ -103,6 +104,7 @@ class ColdEquivalentFinderView(NearestNeighborFinder):
         shared = self._shared
         res = shared.find(source, category, x)
         key = (source, category)
+        self._session.touch_cursor(key)
         vpos, vexh = self._virtual.get(key, (0, False))
         if x > vpos and not vexh:
             cursor = shared._cursors[key]
@@ -208,10 +210,11 @@ class SharedDiskState:
 
 
 class CacheStats:
-    """Hit/miss/invalidation counters for one session (observability)."""
+    """Hit/miss/eviction/invalidation counters for one session."""
 
     __slots__ = ("finder_hits", "finder_misses", "dest_kernel_hits",
-                 "dest_kernel_misses", "ch_hits", "ch_misses",
+                 "dest_kernel_misses", "dest_kernel_evictions",
+                 "cursor_evictions", "ch_hits", "ch_misses",
                  "disk_view_hits", "disk_view_misses", "invalidations")
 
     def __init__(self) -> None:
@@ -220,6 +223,15 @@ class CacheStats:
 
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
+
+    def hit_rates(self) -> Dict[str, float]:
+        """Per-artefact hit rates (hits / lookups; 0.0 when never used)."""
+        rates: Dict[str, float] = {}
+        for kind in ("finder", "dest_kernel", "ch", "disk_view"):
+            hits = getattr(self, f"{kind}_hits")
+            total = hits + getattr(self, f"{kind}_misses")
+            rates[kind] = hits / total if total else 0.0
+        return rates
 
 
 class SessionCache:
@@ -232,14 +244,35 @@ class SessionCache:
     category inserts/removals, edge updates, or compaction — the whole
     cache is dropped in one shot, so post-update queries rebuild from
     the authoritative indexes exactly like a cold engine.
+
+    Within an epoch the cache would otherwise grow unboundedly (one
+    kernel per distinct target, one cursor per distinct ``(source,
+    category)``); ``max_dest_kernels`` / ``max_finders`` cap those two
+    populations with LRU eviction.  Eviction is purely a memory policy:
+    a re-built kernel or cursor regenerates the identical deterministic
+    stream, and the cold-equivalent accounting books per-query virtual
+    positions, so results *and* counters stay bit-identical (pinned by
+    the capped-parity test).  Cursors are only trimmed between queries
+    (at :meth:`finder_view` creation), never mid-enumeration.
     """
 
-    def __init__(self, engine):
+    def __init__(self, engine, max_dest_kernels: Optional[int] = None,
+                 max_finders: Optional[int] = None):
+        if max_dest_kernels is not None and max_dest_kernels < 1:
+            raise ValueError("max_dest_kernels must be >= 1")
+        if max_finders is not None and max_finders < 1:
+            raise ValueError("max_finders must be >= 1")
         self.engine = engine
         self.epoch = engine.index_epoch
         self.stats = CacheStats()
+        self.max_dest_kernels = max_dest_kernels
+        self.max_finders = max_finders
         self._label_finder: Optional[NearestNeighborFinder] = None
-        self._dest_kernels: Dict[Vertex, SharedDestKernel] = {}
+        self._dest_kernels: "OrderedDict[Vertex, SharedDestKernel]" = \
+            OrderedDict()
+        #: (source, category) cursor keys in least-recently-used order
+        self._cursor_lru: "OrderedDict[Tuple[Vertex, CategoryId], None]" = \
+            OrderedDict()
         self._ch = None
         self._disk: Optional[SharedDiskState] = None
 
@@ -253,6 +286,7 @@ class SessionCache:
         self.stats.invalidations += 1
         self._label_finder = None
         self._dest_kernels.clear()
+        self._cursor_lru.clear()
         self._ch = None
         self._disk = None
         return True
@@ -265,11 +299,46 @@ class SessionCache:
             self.stats.finder_misses += 1
         else:
             self.stats.finder_hits += 1
+            self._trim_cursors()
         return ColdEquivalentFinderView(self._label_finder, self)
+
+    def touch_cursor(self, key: Tuple[Vertex, CategoryId]) -> None:
+        """Record a cursor access (LRU recency; called by finder views)."""
+        if self.max_finders is None:
+            return
+        lru = self._cursor_lru
+        if key in lru:
+            lru.move_to_end(key)
+        else:
+            lru[key] = None
+
+    def _trim_cursors(self) -> None:
+        """Evict least-recently-used warm cursors past ``max_finders``.
+
+        Runs only between queries (the per-query views are already
+        retired), so no in-flight virtual-position bookkeeping can point
+        at an evicted cursor mid-enumeration.
+        """
+        if self.max_finders is None or self._label_finder is None:
+            return
+        cursors = getattr(self._label_finder, "_cursors", None)
+        if cursors is None:
+            return
+        lru = self._cursor_lru
+        while len(cursors) > self.max_finders:
+            # Oldest tracked key still live; fall back to insertion order
+            # for any cursor created outside a view (defensive).
+            key = next((k for k in lru if k in cursors), None)
+            if key is None:
+                key = next(iter(cursors))
+            lru.pop(key, None)
+            del cursors[key]
+            self.stats.cursor_evictions += 1
 
     def dest_kernel(self, target: Vertex) -> SharedDestKernel:
         """The shared ``dis(·, target)`` kernel (built once per target)."""
-        kernel = self._dest_kernels.get(target)
+        kernels = self._dest_kernels
+        kernel = kernels.get(target)
         if kernel is None:
             shared = self._label_finder
             if shared is None:
@@ -281,9 +350,14 @@ class SessionCache:
             else:
                 dest_fn = lambda v, _t=target: shared.distance(v, _t)  # noqa: E731
             kernel = SharedDestKernel(target, dest_fn)
-            self._dest_kernels[target] = kernel
+            kernels[target] = kernel
             self.stats.dest_kernel_misses += 1
+            if (self.max_dest_kernels is not None
+                    and len(kernels) > self.max_dest_kernels):
+                kernels.popitem(last=False)
+                self.stats.dest_kernel_evictions += 1
         else:
+            kernels.move_to_end(target)
             self.stats.dest_kernel_hits += 1
         return kernel
 

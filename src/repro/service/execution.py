@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.api import QueryOptions, merge_query_kwargs
 from repro.core.query import KOSRQuery
 from repro.core.stats import QueryStats
 from repro.exceptions import BudgetExceededError, QueryError
@@ -101,6 +102,7 @@ class ExecutionContext:
     budget: Optional[int]
     deadline: Optional[float]
     resources: object
+    options: Optional[QueryOptions] = None
 
     @property
     def graph(self):
@@ -111,38 +113,39 @@ def execute_plan(
     engine,
     plan: QueryPlan,
     query: KOSRQuery,
+    options: Optional[QueryOptions] = None,
     *,
-    budget: Optional[int] = None,
-    time_budget_s: Optional[float] = None,
-    restore_routes: bool = False,
-    strict_budget: bool = False,
-    profile: bool = False,
     resources=None,
+    **legacy_kwargs,
 ):
     """Execute ``plan`` over ``query``; returns a
     :class:`~repro.core.engine.KOSRResult`.
 
-    ``resources`` defaults to :class:`ColdResources` (fresh per-query
-    state — byte-identical to the pre-service engine).  ``budget`` caps
-    examined routes and ``time_budget_s`` caps wall time; with
-    ``strict_budget`` a guard hit raises
-    :class:`~repro.exceptions.BudgetExceededError` instead of returning a
-    partial result with ``stats.completed = False``.
+    ``options`` carries the execution knobs (budgets, strictness, route
+    restoration, profiling); ``plan`` already fixes the method and NN
+    backend, so ``options.method`` / ``options.nn_backend`` are not
+    re-consulted here.  ``resources`` defaults to :class:`ColdResources`
+    (fresh per-query state — byte-identical to the pre-service engine).
+    The pre-PR-4 keyword style (``budget=``, ``strict_budget=``, ...)
+    still works through the deprecation shim.
     """
     from repro.core.engine import KOSRResult
 
+    options = merge_query_kwargs(options, legacy_kwargs, "execute_plan")
     if resources is None:
         resources = ColdResources(engine)
-    stats = QueryStats(method=plan.method, profile=profile)
+    stats = QueryStats(method=plan.method, profile=options.profile)
     t_start = time.perf_counter()
-    deadline = None if time_budget_s is None else t_start + time_budget_s
+    deadline = (None if options.time_budget_s is None
+                else t_start + options.time_budget_s)
     ctx = ExecutionContext(engine=engine, plan=plan, query=query, stats=stats,
-                           budget=budget, deadline=deadline,
-                           resources=resources)
+                           budget=options.budget, deadline=deadline,
+                           resources=resources, options=options)
     results = plan.spec.runner(ctx)
     stats.total_time = time.perf_counter() - t_start
-    if strict_budget and not stats.completed:
-        raise BudgetExceededError(budget if budget is not None else -1)
-    if restore_routes:
+    if options.strict_budget and not stats.completed:
+        raise BudgetExceededError(
+            options.budget if options.budget is not None else -1)
+    if options.restore_routes:
         engine._restore(results)
     return KOSRResult(query, results, stats)

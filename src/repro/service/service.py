@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api import QueryOptions, merge_query_kwargs
 from repro.core.query import KOSRQuery
 from repro.service.cache import SessionCache
 from repro.service.execution import WarmResources, execute_plan
@@ -70,12 +71,27 @@ class BatchResult:
 
 
 class QueryService:
-    """Planner + session cache + batch executor over one engine."""
+    """Planner + session cache + batch executor over one engine.
 
-    def __init__(self, engine):
+    ``max_dest_kernels`` / ``max_finders`` bound the session cache's two
+    unbounded-within-an-epoch populations (per-target ``dis(·, t)``
+    kernels and warm FindNN cursors) with LRU eviction; the limits also
+    apply to every session the service creates for threaded batches and
+    async group workers (see :meth:`new_session`).
+    """
+
+    def __init__(self, engine, max_dest_kernels: Optional[int] = None,
+                 max_finders: Optional[int] = None):
         self.engine = engine
-        self.session = SessionCache(engine)
+        self.max_dest_kernels = max_dest_kernels
+        self.max_finders = max_finders
+        self.session = self.new_session()
         self._plans: Dict[Tuple[str, str], QueryPlan] = {}
+
+    def new_session(self) -> SessionCache:
+        """A fresh isolated session honouring this service's cache caps."""
+        return SessionCache(self.engine, max_dest_kernels=self.max_dest_kernels,
+                            max_finders=self.max_finders)
 
     # ------------------------------------------------------------------
     def plan(self, method: str, nn_backend: str = "label") -> QueryPlan:
@@ -90,28 +106,26 @@ class QueryService:
     def run(
         self,
         q: KOSRQuery,
-        method: str = "SK",
-        nn_backend: str = "label",
-        budget: Optional[int] = None,
-        time_budget_s: Optional[float] = None,
-        restore_routes: bool = False,
-        strict_budget: bool = False,
-        profile: bool = False,
+        options: Optional[QueryOptions] = None,
+        *,
         session: Optional[SessionCache] = None,
+        **legacy_kwargs,
     ):
         """Answer one query on the warm service path.
 
-        Identical signature and semantics to ``KOSREngine.run`` except
-        that finders, ``dis(·, t)`` kernels, the CH, and SK-DB views are
-        reused from the session cache when the index epoch allows it.
+        Identical request/response contract to ``KOSREngine.run`` (a
+        :class:`~repro.api.QueryOptions`, or the deprecated keyword shim)
+        except that finders, ``dis(·, t)`` kernels, the CH, and SK-DB
+        views are reused from the session cache when the index epoch
+        allows it.
         """
+        options = merge_query_kwargs(options, legacy_kwargs,
+                                     "QueryService.run")
         session = session if session is not None else self.session
         session.validate()
         return execute_plan(
-            self.engine, self.plan(method, nn_backend), q,
-            budget=budget, time_budget_s=time_budget_s,
-            restore_routes=restore_routes, strict_budget=strict_budget,
-            profile=profile, resources=WarmResources(session),
+            self.engine, self.plan(options.method, options.nn_backend), q,
+            options, resources=WarmResources(session),
         )
 
     # ------------------------------------------------------------------
@@ -131,22 +145,22 @@ class QueryService:
     def run_batch(
         self,
         queries: Sequence[KOSRQuery],
-        method: str = "SK",
-        nn_backend: str = "label",
-        budget: Optional[int] = None,
-        time_budget_s: Optional[float] = None,
-        restore_routes: bool = False,
-        profile: bool = False,
+        options: Optional[QueryOptions] = None,
+        *,
         max_workers: Optional[int] = None,
+        **legacy_kwargs,
     ) -> BatchResult:
         """Execute a workload, sharing warm state between groupmates.
 
-        Results come back aligned with the input order regardless of the
-        grouping.  With ``max_workers`` > 1 independent groups run
-        concurrently, each on its own isolated session; the default is
-        sequential execution over one shared session, which maximises
-        cross-group finder reuse.
+        ``options`` applies to every query of the batch (deprecated
+        keyword shim as elsewhere).  Results come back aligned with the
+        input order regardless of the grouping.  With ``max_workers`` > 1
+        independent groups run concurrently, each on its own isolated
+        session; the default is sequential execution over one shared
+        session, which maximises cross-group finder reuse.
         """
+        options = merge_query_kwargs(options, legacy_kwargs,
+                                     "QueryService.run_batch")
         queries = list(queries)
         groups = self.group_queries(queries)
         results: List = [None] * len(queries)
@@ -154,12 +168,7 @@ class QueryService:
 
         def run_group(indexes: List[int], session: SessionCache) -> None:
             for i in indexes:
-                results[i] = self.run(
-                    queries[i], method=method, nn_backend=nn_backend,
-                    budget=budget, time_budget_s=time_budget_s,
-                    restore_routes=restore_routes, profile=profile,
-                    session=session,
-                )
+                results[i] = self.run(queries[i], options, session=session)
 
         if max_workers is not None and max_workers > 1 and len(groups) > 1:
             from concurrent.futures import ThreadPoolExecutor
@@ -170,7 +179,7 @@ class QueryService:
             # sequentially, a data race across threads.  The fold is
             # purely physical (no epoch change, identical results).
             self._fold_pending_overlays()
-            sessions = [SessionCache(self.engine) for _ in groups]
+            sessions = [self.new_session() for _ in groups]
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
                 futures = [
                     pool.submit(run_group, indexes, session)

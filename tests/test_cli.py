@@ -189,6 +189,159 @@ class TestBatchCommand:
         assert code == 0
         assert "2 groups" in capsys.readouterr().out
 
+    def test_batch_cache_stats_report(self, fig1_file, tmp_path, capsys):
+        s, t = vertex("s"), vertex("t")
+        wl = self._workload(tmp_path, [
+            {"source": s, "target": t, "categories": [0, 1], "k": 2},
+            {"source": s, "target": t, "categories": [0, 1], "k": 2},
+            {"source": s, "target": t, "categories": [0, 1], "k": 2},
+        ])
+        code = main(["batch", "--graph", fig1_file, "--workload", wl,
+                     "--cache-stats", "--max-dest-kernels", "4",
+                     "--max-finders", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "finder:" in out and "dest_kernel:" in out
+        assert "hits (" in out and "evictions:" in out
+
+    def test_batch_json_includes_eviction_counters(self, fig1_file,
+                                                   tmp_path, capsys):
+        s, t = vertex("s"), vertex("t")
+        wl = self._workload(tmp_path, [
+            {"source": s, "target": t, "categories": [0, 1], "k": 2},
+        ])
+        code = main(["batch", "--graph", fig1_file, "--workload", wl,
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "dest_kernel_evictions" in payload["cache_stats"]
+        assert "cursor_evictions" in payload["cache_stats"]
+
+
+class TestAsyncBatchCommand:
+    def _workload(self, tmp_path, records):
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps(records))
+        return str(path)
+
+    def test_async_batch_coalesces_duplicates(self, fig1_file, tmp_path,
+                                              capsys):
+        s, t = vertex("s"), vertex("t")
+        record = {"source": s, "target": t,
+                  "categories": ["MA", "RE", "CI"], "k": 3}
+        wl = self._workload(tmp_path, [record] * 4)
+        code = main(["async-batch", "--graph", fig1_file, "--workload", wl])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best 20" in out
+        assert "1 executed" in out and "3 coalesced" in out
+
+    def test_async_batch_json_output(self, fig1_file, tmp_path, capsys):
+        s, t = vertex("s"), vertex("t")
+        wl = self._workload(tmp_path, [
+            {"source": s, "target": t, "categories": [0, 1, 2], "k": 2},
+            {"source": s, "target": t, "categories": [0, 1, 2], "k": 2},
+            {"source": s, "target": t, "categories": [0], "k": 1,
+             "method": "PK"},
+        ])
+        code = main(["async-batch", "--graph", fig1_file, "--workload", wl,
+                     "--json", "--max-inflight", "2"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["queries"][0]["costs"][0] == 20
+        assert payload["queries"][2]["method"] == "PK"
+        assert payload["serving_stats"]["executed"] == 2
+        assert payload["serving_stats"]["coalesced"] == 1
+        assert payload["unfinished"] == 0
+
+    def test_async_batch_no_coalesce(self, fig1_file, tmp_path, capsys):
+        s, t = vertex("s"), vertex("t")
+        record = {"source": s, "target": t, "categories": [0], "k": 1}
+        wl = self._workload(tmp_path, [record] * 3)
+        code = main(["async-batch", "--graph", fig1_file, "--workload", wl,
+                     "--json", "--no-coalesce"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["serving_stats"]["executed"] == 3
+
+    def test_async_batch_rejects_unknown_method_before_running(
+            self, fig1_file, tmp_path):
+        wl = self._workload(tmp_path, [
+            {"source": 0, "target": 1, "categories": [0], "method": "SKX"},
+        ])
+        with pytest.raises(SystemExit, match="unknown method"):
+            main(["async-batch", "--graph", fig1_file, "--workload", wl])
+
+    def test_async_batch_unfinished_exit_code(self, fig1_file, tmp_path,
+                                              capsys):
+        s, t = vertex("s"), vertex("t")
+        wl = self._workload(tmp_path, [
+            {"source": s, "target": t, "categories": [0, 1, 2], "k": 3,
+             "method": "KPNE"},
+        ])
+        code = main(["async-batch", "--graph", fig1_file, "--workload", wl,
+                     "--budget", "1"])
+        assert code == 2
+
+    def test_async_batch_overload_reports_instead_of_crashing(
+            self, fig1_file, tmp_path, capsys):
+        """--max-queue smaller than the workload sheds load gracefully."""
+        s, t = vertex("s"), vertex("t")
+        records = [{"source": s, "target": t, "categories": [c, (c + 1) % 3],
+                    "k": 1} for c in range(3) for _ in range(2)]
+        wl = self._workload(tmp_path, records)
+        code = main(["async-batch", "--graph", fig1_file, "--workload", wl,
+                     "--max-queue", "2", "--no-coalesce", "--json"])
+        assert code == 2  # shed requests count as unfinished
+        payload = json.loads(capsys.readouterr().out)
+        shed = [r for r in payload["queries"] if "error" in r]
+        assert shed and all(r["kind"] == "ServiceOverloadedError"
+                            for r in shed)
+        assert payload["serving_stats"]["rejected"] == len(shed)
+        answered = [r for r in payload["queries"] if "error" not in r]
+        assert answered and all(r["completed"] for r in answered)
+
+
+class TestServeCommand:
+    def test_serve_answers_then_shuts_down(self, fig1_file, capsys,
+                                           monkeypatch):
+        """End-to-end `cli serve`: real TCP exchange, then interrupt."""
+        import asyncio
+
+        import repro.server.tcp as tcp_mod
+
+        real_serve = tcp_mod.serve
+        s, t = vertex("s"), vertex("t")
+        exchanged = {}
+
+        async def wrapped(engine, host, port, **kwargs):
+            server = await real_serve(engine, host, 0, **kwargs)
+
+            async def one_exchange_then_interrupt():
+                addr = server.sockets[0].getsockname()
+                reader, writer = await asyncio.open_connection(*addr[:2])
+                writer.write(json.dumps(
+                    {"id": "cli", "source": s, "target": t,
+                     "categories": ["MA", "RE", "CI"], "k": 2}
+                ).encode() + b"\n")
+                await writer.drain()
+                exchanged["response"] = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                raise KeyboardInterrupt
+
+            server.serve_forever = one_exchange_then_interrupt
+            return server
+
+        monkeypatch.setattr(tcp_mod, "serve", wrapped)
+        code = main(["serve", "--graph", fig1_file, "--port", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving KOSR queries" in out
+        assert "interrupted" in out
+        assert exchanged["response"]["id"] == "cli"
+        assert exchanged["response"]["costs"][0] == 20
+
 
 class TestPreprocessAndIndexedQuery:
     def test_preprocess_writes_artifacts(self, fig1_file, tmp_path, capsys):

@@ -1,0 +1,97 @@
+"""Workload replay against a golden trace (ROADMAP item).
+
+``cli batch --json`` over a fixed workload on the deterministic paper
+Figure 1 graph is persisted under ``tests/golden/``; every run of this
+test re-executes the workload and diffs the full payload — answers
+(costs, witnesses) AND the QueryStats counters AND the session-cache
+counters — bit-for-bit.  Any unintended change to search order,
+counter accounting, grouping, or cache behaviour shows up as a diff
+here before it can silently drift across PRs.
+
+Regenerate intentionally with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/test_golden_replay.py -q
+
+(and eyeball the diff before committing it).
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import save_json
+from repro.graph.paper import paper_figure1_graph, vertex
+
+GOLDEN = Path(__file__).parent / "golden" / "fig1_batch.json"
+
+#: fields that measure wall time — legitimately different every run
+_VOLATILE_BATCH = ("wall_time_s", "queries_per_second")
+_VOLATILE_ROW = ("time_ms",)
+
+
+def _workload_records():
+    """A fixed mixed-method workload with shared-target groups."""
+    s, t, p2 = vertex("s"), vertex("t"), vertex("a")
+    return [
+        {"source": s, "target": t, "categories": ["MA", "RE", "CI"], "k": 3},
+        {"source": s, "target": t, "categories": ["MA", "RE", "CI"], "k": 3},
+        {"source": p2, "target": t, "categories": ["RE", "CI"], "k": 2},
+        {"source": s, "target": t, "categories": ["MA", "RE", "CI"], "k": 3,
+         "method": "PK"},
+        {"source": s, "target": t, "categories": [0, 1, 2], "k": 2,
+         "method": "KPNE"},
+        {"source": s, "target": t, "categories": ["MA"], "k": 1,
+         "method": "SK-NODOM"},
+        {"source": s, "target": p2, "categories": ["MA", "RE"], "k": 2},
+    ]
+
+
+def _run_workload(tmp_path, capsys) -> dict:
+    graph_file = tmp_path / "fig1.json"
+    save_json(paper_figure1_graph(), graph_file)
+    wl_file = tmp_path / "wl.json"
+    wl_file.write_text(json.dumps(_workload_records()))
+    code = main(["batch", "--graph", str(graph_file),
+                 "--workload", str(wl_file), "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    for name in _VOLATILE_BATCH:
+        payload.pop(name, None)
+    for row in payload["queries"]:
+        for name in _VOLATILE_ROW:
+            row.pop(name, None)
+    return payload
+
+
+def test_replay_matches_golden_trace(tmp_path, capsys):
+    got = _run_workload(tmp_path, capsys)
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN.parent.mkdir(exist_ok=True)
+        GOLDEN.write_text(json.dumps(got, indent=2, sort_keys=True) + "\n")
+    if not GOLDEN.exists():
+        pytest.fail(f"golden trace missing: {GOLDEN} "
+                    f"(regenerate with REPRO_REGEN_GOLDEN=1)")
+    expected = json.loads(GOLDEN.read_text())
+    # Bit-for-bit: results, QueryStats counters, grouping, cache stats.
+    assert got == expected
+
+
+def test_golden_trace_has_the_interesting_structure():
+    """Guard against an accidentally trivial regeneration."""
+    trace = json.loads(GOLDEN.read_text())
+    rows = trace["queries"]
+    assert len(rows) == 7
+    assert {row["method"] for row in rows} == {"SK", "PK", "KPNE", "SK-NODOM"}
+    # The paper's known Figure 1 answers anchor the trace semantically.
+    assert rows[0]["costs"][0] == 20
+    assert rows[0]["witnesses"][0]
+    assert all(row["completed"] for row in rows)
+    assert all(row["nn_queries"] > 0 for row in rows)
+    assert trace["unfinished"] == 0
+    # Shared-(target, categories) queries actually grouped.
+    assert trace["num_groups"] < len(rows)
+    assert trace["cache_stats"]["finder_hits"] > 0

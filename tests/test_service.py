@@ -161,6 +161,94 @@ class TestSessionCache:
         assert batch.queries_per_second > 0
 
 
+class TestCachePolicy:
+    """LRU eviction caps on dest kernels and warm finder cursors.
+
+    Eviction is a memory policy only: capped sessions must keep
+    returning bit-identical results and counters to cold engines (the
+    regenerated kernels/cursors are deterministic), while the new
+    ``*_evictions`` counters surface the churn.
+    """
+
+    def _shared_target_workload(self, g, rng, targets=5, per_target=2):
+        queries = []
+        for _ in range(targets):
+            t = rng.randrange(g.num_vertices)
+            cats = rng.sample(range(g.num_categories), 2)
+            for _ in range(per_target):
+                queries.append(
+                    make_query(g, rng.randrange(g.num_vertices), t, cats, k=2))
+        return queries
+
+    def test_dest_kernels_capped_with_lru_eviction(self):
+        engine = KOSREngine.build(_graph(71))
+        service = QueryService(engine, max_dest_kernels=2)
+        rng = random.Random(5)
+        queries = self._shared_target_workload(engine.graph, rng, targets=5)
+        service.run_batch(queries, method="SK")
+        session = service.session
+        assert len(session._dest_kernels) <= 2
+        assert session.stats.dest_kernel_evictions >= 3
+
+    def test_lru_keeps_recently_used_kernel(self):
+        engine = KOSREngine.build(_graph(73))
+        session = SessionCache(engine, max_dest_kernels=2)
+        session.dest_kernel(10)
+        session.dest_kernel(11)
+        session.dest_kernel(10)          # refresh 10's recency
+        session.dest_kernel(12)          # evicts 11, not 10
+        assert 10 in session._dest_kernels and 12 in session._dest_kernels
+        assert 11 not in session._dest_kernels
+        assert session.stats.dest_kernel_evictions == 1
+
+    def test_finder_cursors_capped(self):
+        engine = KOSREngine.build(_graph(77))
+        service = QueryService(engine, max_finders=3)
+        rng = random.Random(7)
+        queries = self._shared_target_workload(engine.graph, rng, targets=6)
+        service.run_batch(queries, method="SK")
+        session = service.session
+        # Cursors are trimmed at the *next* query's view creation (never
+        # mid-enumeration), so the cap holds at every query boundary.
+        session._trim_cursors()
+        assert len(session._label_finder._cursors) <= 3
+        assert session.stats.cursor_evictions > 0
+
+    @pytest.mark.parametrize("caps", [dict(max_dest_kernels=1),
+                                      dict(max_finders=2),
+                                      dict(max_dest_kernels=1, max_finders=1)])
+    def test_capped_sessions_stay_cold_equivalent(self, caps):
+        """Eviction must never change results or counters."""
+        g = _graph(79)
+        engine = KOSREngine.build(g)
+        service = QueryService(engine, **caps)
+        rng = random.Random(11)
+        queries = self._shared_target_workload(g, rng, targets=4,
+                                               per_target=3)
+        for method in ("SK", "PK"):
+            batch = service.run_batch(queries, method=method)
+            for q, warm in zip(queries, batch):
+                assert_same_outcome(warm, KOSREngine.build(g).run(q, method=method))
+
+    def test_invalid_caps_rejected(self):
+        engine = KOSREngine.build(_graph(83))
+        with pytest.raises(ValueError):
+            SessionCache(engine, max_dest_kernels=0)
+        with pytest.raises(ValueError):
+            SessionCache(engine, max_finders=0)
+
+    def test_hit_rates_helper(self):
+        engine = KOSREngine.build(_graph(87))
+        service = QueryService(engine)
+        q = make_query(engine.graph, 0, 30, [0, 1], k=2)
+        service.run(q, method="SK")
+        service.run(q, method="SK")
+        rates = service.session.stats.hit_rates()
+        assert rates["finder"] == 0.5
+        assert rates["dest_kernel"] == 0.5
+        assert rates["disk_view"] == 0.0
+
+
 class TestSkDbErrorPaths:
     def test_query_before_attach_disk_store(self, engine):
         q = make_query(engine.graph, 0, 10, [0], k=1)
