@@ -10,7 +10,11 @@ Public API tour:
   GSP) over any NN backend;
 * :mod:`repro.core.variants` — no-source / no-destination / preference
   variants;
-* :mod:`repro.experiments` — the full Sec. V evaluation harness.
+* :mod:`repro.experiments` — the full Sec. V evaluation harness;
+* serving layers (see ``docs/serving.md``): :class:`QueryService`
+  (warm batches), :class:`AsyncQueryService` (coalescing asyncio front
+  door + TCP face), :class:`ShardedQueryService` (category-partitioned
+  worker processes) — all bit-identical to cold single-query runs.
 """
 
 from repro.types import (
@@ -31,6 +35,7 @@ from repro.exceptions import (
     QueryError,
     ReproError,
     ServiceOverloadedError,
+    ShardError,
     UnknownCategoryError,
     UnknownVertexError,
 )
@@ -58,6 +63,7 @@ from repro.core.query import make_query
 from repro.api import QueryOptions, QueryRequest
 from repro.service import BatchResult, QueryService
 from repro.server import AsyncQueryService
+from repro.shard import ShardedQueryService
 
 __version__ = "1.0.0"
 
@@ -77,6 +83,7 @@ __all__ = [
     "QueryError",
     "ReproError",
     "ServiceOverloadedError",
+    "ShardError",
     "UnknownCategoryError",
     "UnknownVertexError",
     "Graph",
@@ -103,5 +110,6 @@ __all__ = [
     "QueryOptions",
     "QueryRequest",
     "QueryService",
+    "ShardedQueryService",
     "__version__",
 ]

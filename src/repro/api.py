@@ -21,6 +21,21 @@ with two small value objects:
 The response type stays :class:`~repro.core.engine.KOSRResult` (answer
 set + ``QueryStats``) — it already carries everything a response needs.
 
+Contract: the coalescing identity
+---------------------------------
+
+:attr:`QueryRequest.key` is the *only* notion of request equality the
+serving stack may coalesce on, and it is deliberately strict: the full
+``(s, t, C, k)`` tuple plus every execution option.  Soundness comes
+from the service layer's epoch semantics (within one index epoch,
+identical requests produce bit-identical results and counters — see
+:mod:`repro.service`); anything looser (ignoring ``profile``, say)
+would hand one caller another caller's observably different answer.
+The same strictness makes keys safe across process boundaries: the
+sharded workers (:mod:`repro.shard`) receive the frozen
+``(KOSRQuery, QueryOptions)`` pair by pickle and can never drift from
+the in-process interpretation.
+
 Migration
 ---------
 

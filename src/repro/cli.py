@@ -21,6 +21,11 @@ executes a JSON workload through the query service's grouped batch path;
 ``async-batch`` drives the same workload through the asyncio front door
 (coalescing + backpressure); ``serve`` runs the JSON-lines TCP server;
 ``figure`` regenerates one of the paper's tables/figures.
+
+``batch``, ``async-batch``, and ``serve`` all accept ``--shards N`` to
+execute over N category-partitioned worker processes (see
+:mod:`repro.shard`) — answers stay bit-identical to the in-process
+engine while the search itself runs on separate cores.
 """
 
 from __future__ import annotations
@@ -127,6 +132,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="LRU cap on warm per-target dis(.,t) kernels")
         p.add_argument("--max-finders", type=int, default=None,
                        help="LRU cap on warm FindNN cursors per session")
+        p.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="partition categories across N worker processes "
+                            "(true multi-core parallelism; answers stay "
+                            "bit-identical to an unsharded engine)")
         p.add_argument("--json", action="store_true", dest="as_json",
                        help="emit per-query stats as JSON instead of text")
 
@@ -173,6 +182,9 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--max-groups", type=int, default=512,
                      help="soft cap on live group workers (idle groups "
                           "are retired first)")
+    srv.add_argument("--shards", type=int, default=None, metavar="N",
+                     help="serve from N category-partitioned worker "
+                          "processes instead of the in-process engine")
 
     fig = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig.add_argument("--name", required=True, choices=sorted(FIGURES))
@@ -263,6 +275,44 @@ def _make_engine(args, needs_labels: Optional[bool] = None):
         return KOSREngine.build(graph, backend=backend,
                                 overlay_ratio=overlay_ratio)
     return KOSREngine(graph)
+
+
+def _sharding_requested(args) -> bool:
+    """Any explicit ``--shards N`` engages the worker fleet.
+
+    ``--shards 1`` is meaningful (a single worker process — the
+    benchmark baseline, and isolation from the serving process), so only
+    the absence of the flag selects the in-process engine; non-positive
+    values are rejected in :func:`_make_sharded`.
+    """
+    return getattr(args, "shards", None) is not None
+
+
+def _make_sharded(args, build_labels: bool = True):
+    """Build the sharded service for ``--shards N`` commands.
+
+    Loads the graph, reuses prebuilt packed labels when ``--index`` is
+    given (building them once here otherwise), and spawns the worker
+    fleet — the parent never materialises inverted indexes.
+    ``build_labels=False`` skips the label build entirely (topology-only
+    fleet) — the same startup-cost skip the unsharded path applies to
+    workloads that never touch the label indexes.
+    """
+    from repro.shard import ShardedQueryService
+
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    graph = _load_graph(args.graph)
+    labels = None
+    if args.index:
+        labels = PackedLabelIndex.load(Path(args.index) / "labels.bin")
+    return ShardedQueryService(
+        graph, args.shards, labels=labels, backend=args.backend,
+        overlay_ratio=getattr(args, "overlay_ratio", None),
+        max_dest_kernels=getattr(args, "max_dest_kernels", None),
+        max_finders=getattr(args, "max_finders", None),
+        build_labels=build_labels,
+    )
 
 
 def _query_options(args) -> QueryOptions:
@@ -359,38 +409,48 @@ def _load_workload_records(spec: str) -> List[dict]:
 
 
 def _prepare_workload(args):
-    """Shared `batch`/`async-batch` setup: engine + per-record queries.
+    """Shared `batch`/`async-batch` setup: backend + per-record queries.
 
-    Returns ``(engine, items)`` where ``items`` is a list of
+    Returns ``(backend, items)`` where ``backend`` is either an engine
+    (in-process serving) or a :class:`~repro.shard.ShardedQueryService`
+    (``--shards N``), and ``items`` is a list of
     ``(index, method, query)`` aligned with the workload records.  Fails
-    fast — before any query runs — on unknown methods/backends and on
-    SK-DB without an index directory.
+    fast — before any query runs — on unknown methods/backends, on SK-DB
+    without an index directory, and on SK-DB under sharding.
     """
     records = _load_workload_records(args.workload)
     methods = {record.get("method", args.method) for record in records}
-    # Label indexes are the dominant startup cost; skip the build when no
-    # record's method will touch them (all-GSP workloads, Dijkstra oracles).
-    needs_labels = (args.nn_backend == "label"
-                    and any(m not in ("GSP", "GSP-CH") for m in methods))
-    engine = _make_engine(args, needs_labels=needs_labels)
     from repro.exceptions import QueryError
     from repro.service import resolve_plan
 
+    sharded = _sharding_requested(args)
+    if sharded and "SK-DB" in methods:
+        raise SystemExit("SK-DB is not supported with --shards "
+                         "(worker shards hold in-memory partitions)")
+    # Label indexes are the dominant startup cost; skip the build when no
+    # record's method will touch them (all-GSP workloads, Dijkstra
+    # oracles) — on the sharded path the whole fleet skips it.
+    needs_labels = (args.nn_backend == "label"
+                    and any(m not in ("GSP", "GSP-CH") for m in methods))
+    if sharded:
+        backend = _make_sharded(args, build_labels=needs_labels)
+    else:
+        backend = _make_engine(args, needs_labels=needs_labels)
     for method in sorted(methods):
         try:
-            resolve_plan(method, args.nn_backend, engine.backend)
+            resolve_plan(method, args.nn_backend, args.backend)
         except QueryError as exc:
             raise SystemExit(str(exc))
-        if method == "SK-DB" and engine._store is None:
+        if method == "SK-DB" and backend._store is None:
             raise SystemExit("SK-DB needs --index (run `preprocess` first)")
     items = []
     for i, record in enumerate(records):
         cats = [int(c) if isinstance(c, str) and c.isdigit() else c
                 for c in record["categories"]]
-        q = engine.make_query(record["source"], record["target"], cats,
-                              k=int(record.get("k", 1)))
+        q = backend.make_query(record["source"], record["target"], cats,
+                               k=int(record.get("k", 1)))
         items.append((i, record.get("method", args.method), q))
-    return engine, items
+    return backend, items
 
 
 def _result_row(method: str, result) -> dict:
@@ -432,8 +492,13 @@ def _print_cache_rates(cache_totals: dict) -> None:
 
 
 def cmd_batch(args) -> int:
-    """Run a JSON workload through ``QueryService.run_batch``."""
-    engine, items = _prepare_workload(args)
+    """Run a JSON workload through ``QueryService.run_batch``.
+
+    With ``--shards N`` the same workload flows through a
+    :class:`~repro.shard.ShardedQueryService` instead — category
+    partitions in worker processes, identical answers.
+    """
+    backend, items = _prepare_workload(args)
     options = _query_options(args)
     # Records may override the method; group by it so each homogeneous
     # sub-batch flows through one run_batch call (grouping by
@@ -442,22 +507,29 @@ def cmd_batch(args) -> int:
     for i, method, q in items:
         by_method.setdefault(method, []).append((i, q))
     rows = [None] * len(items)
-    service = QueryService(engine, max_dest_kernels=args.max_dest_kernels,
-                           max_finders=args.max_finders)
+    if _sharding_requested(args):
+        service = backend
+    else:
+        service = QueryService(backend, max_dest_kernels=args.max_dest_kernels,
+                               max_finders=args.max_finders)
     wall = 0.0
     groups = 0
     cache_totals: dict = {}
-    for method, method_items in by_method.items():
-        batch = service.run_batch(
-            [q for _, q in method_items], options.replace(method=method),
-            max_workers=args.max_workers,
-        )
-        wall += batch.wall_time_s
-        groups += batch.num_groups
-        for name, value in batch.cache_stats.items():
-            cache_totals[name] = cache_totals.get(name, 0) + value
-        for (i, _), result in zip(method_items, batch):
-            rows[i] = _result_row(method, result)
+    try:
+        for method, method_items in by_method.items():
+            batch = service.run_batch(
+                [q for _, q in method_items], options.replace(method=method),
+                max_workers=args.max_workers,
+            )
+            wall += batch.wall_time_s
+            groups += batch.num_groups
+            for name, value in batch.cache_stats.items():
+                cache_totals[name] = cache_totals.get(name, 0) + value
+            for (i, _), result in zip(method_items, batch):
+                rows[i] = _result_row(method, result)
+    finally:
+        if _sharding_requested(args):
+            service.close()
     unfinished = sum(1 for r in rows if not r["completed"])
     if args.as_json:
         print(json.dumps({
@@ -479,17 +551,24 @@ def cmd_batch(args) -> int:
 
 
 def cmd_async_batch(args) -> int:
-    """Drive a workload through the asyncio front door (`async-batch`)."""
+    """Drive a workload through the asyncio front door (`async-batch`).
+
+    ``--shards N`` swaps the in-process thread-pool executor for the
+    sharded worker fleet; coalescing and backpressure are unchanged.
+    """
     import asyncio
 
     from repro.server import AsyncQueryService
 
-    engine, items = _prepare_workload(args)
+    backend, items = _prepare_workload(args)
     base = _query_options(args)
     requests = [QueryRequest(q, base.replace(method=method))
                 for _, method, q in items]
-    service = QueryService(engine, max_dest_kernels=args.max_dest_kernels,
-                           max_finders=args.max_finders)
+    if _sharding_requested(args):
+        service = backend
+    else:
+        service = QueryService(backend, max_dest_kernels=args.max_dest_kernels,
+                               max_finders=args.max_finders)
 
     async def drive():
         async with AsyncQueryService(
@@ -504,7 +583,11 @@ def cmd_async_batch(args) -> int:
                 return_exceptions=True)
             return results, time.perf_counter() - t0, front.stats.as_dict()
 
-    results, wall, serving = asyncio.run(drive())
+    try:
+        results, wall, serving = asyncio.run(drive())
+    finally:
+        if _sharding_requested(args):
+            service.close()
     rows = []
     for (_, method, _), result in zip(items, results):
         if isinstance(result, BaseException):
@@ -547,31 +630,66 @@ def cmd_async_batch(args) -> int:
 def cmd_serve(args) -> int:
     """Run the JSON-lines TCP server until interrupted (`serve`)."""
     import asyncio
+    import errno
 
     from repro.server.tcp import serve as tcp_serve
 
-    engine = _make_engine(args)
+    if _sharding_requested(args):
+        if args.method == "SK-DB":
+            raise SystemExit("SK-DB is not supported with --shards "
+                             "(worker shards hold in-memory partitions)")
+        sharded = _make_sharded(args)
+        engine = None
+    else:
+        sharded = None
+        engine = _make_engine(args)
     defaults = QueryOptions(method=args.method, nn_backend=args.nn_backend)
 
     async def main_loop():
         server = await tcp_serve(
             engine, args.host, args.port, defaults=defaults,
             max_inflight=args.max_inflight, max_queue=args.max_queue,
-            max_groups=args.max_groups)
+            max_groups=args.max_groups, service=sharded)
         addr = server.sockets[0].getsockname()
+        shards_note = f", shards={args.shards}" if sharded is not None else ""
         print(f"serving KOSR queries on {addr[0]}:{addr[1]} "
               f"(method={args.method}, max_inflight={args.max_inflight}, "
-              f"max_queue={args.max_queue})")
+              f"max_queue={args.max_queue}{shards_note})")
         try:
             async with server:
                 await server.serve_forever()
         finally:
             await server.query_service.close()
 
+    # SIGTERM (docker stop, service managers) gets the same graceful
+    # shutdown as Ctrl-C: close the front door and the worker fleet
+    # instead of dying mid-cleanup.
+    import signal
+
+    def _sigterm(_signo, _frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:  # not the main thread (tests drive cmd_serve directly)
+        pass
     try:
         asyncio.run(main_loop())
     except KeyboardInterrupt:
         print("interrupted, shutting down")
+    except OSError as exc:
+        # Most commonly EADDRINUSE from asyncio.start_server: turn the
+        # bare traceback into an actionable message + nonzero exit.
+        print(f"error: cannot listen on {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        if exc.errno == errno.EADDRINUSE:
+            print(f"hint: port {args.port} is already in use — stop the "
+                  f"other process or pick a different --port "
+                  f"(0 auto-assigns a free one)", file=sys.stderr)
+        return 1
+    finally:
+        if sharded is not None:
+            sharded.close()
     return 0
 
 

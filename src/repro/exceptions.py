@@ -19,6 +19,9 @@ class UnknownVertexError(GraphError):
         self.vertex = vertex
         self.n = n
 
+    def __reduce__(self):
+        return (type(self), (self.vertex, self.n))
+
 
 class UnknownCategoryError(GraphError):
     """A category name/id that the graph does not define."""
@@ -31,6 +34,9 @@ class NegativeWeightError(GraphError):
         super().__init__(f"edge ({u}, {v}) has negative weight {weight!r}")
         self.edge = (u, v)
         self.weight = weight
+
+    def __reduce__(self):
+        return (type(self), (*self.edge, self.weight))
 
 
 class QueryError(ReproError):
@@ -65,6 +71,27 @@ class ServiceOverloadedError(ReproError):
         self.pending = pending
         self.max_queue = max_queue
 
+    def __reduce__(self):
+        return (type(self), (self.pending, self.max_queue))
+
+
+class ShardError(ReproError):
+    """A shard worker process failed, died, or timed out.
+
+    Raised by :class:`repro.shard.ShardedQueryService` when a worker's
+    pipe breaks, a response does not arrive within the request timeout,
+    or the service is used after :meth:`close`.  The failing shard id is
+    carried so operators can correlate with :meth:`ping` health reports.
+    """
+
+    def __init__(self, shard_id: int, message: str):
+        super().__init__(f"shard {shard_id}: {message}")
+        self.shard_id = shard_id
+        self.message = message
+
+    def __reduce__(self):
+        return (type(self), (self.shard_id, self.message))
+
 
 class BudgetExceededError(ReproError):
     """An algorithm exceeded its examined-route budget.
@@ -76,3 +103,6 @@ class BudgetExceededError(ReproError):
     def __init__(self, budget: int):
         super().__init__(f"examined-route budget of {budget} exceeded")
         self.budget = budget
+
+    def __reduce__(self):
+        return (type(self), (self.budget,))

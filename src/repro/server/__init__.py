@@ -6,7 +6,28 @@
   admission (backpressure via
   :class:`~repro.exceptions.ServiceOverloadedError`);
 * :mod:`repro.server.tcp` — a JSON-lines TCP front door
-  (``repro.cli serve``).
+  (``repro.cli serve``), including the ``{"stats": true}`` operator
+  inspection request.
+
+Layer contract
+--------------
+
+* **Coalescing identity.**  Two requests may share one plan execution
+  iff their :attr:`~repro.api.QueryRequest.key` — the full
+  ``(s, t, C, k)`` tuple *plus* the frozen ``QueryOptions`` — are equal
+  and both are in flight within the same index epoch.  The service
+  layer's epoch semantics guarantee equal keys then produce identical
+  answers, so every coalesced waiter receives the *same* result object
+  and the counters still read as one cold execution.
+* **Cold-equivalence is inherited, not re-implemented.**  The front-end
+  never touches accounting; it only routes to warm sessions (or, when
+  constructed over a :class:`~repro.shard.ShardedQueryService`, to the
+  worker fleet), so every answer remains bit-identical to a fresh cold
+  engine.
+* **Bounded admission.**  At most ``max_queue`` requests are pending at
+  once; excess submits fail fast with ``ServiceOverloadedError`` rather
+  than queueing unboundedly, and ``max_groups`` soft-caps the live group
+  workers (idle ones retire, dropping their warm session).
 """
 
 from repro.server.async_service import AsyncQueryService, ServingStats

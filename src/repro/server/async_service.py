@@ -22,6 +22,15 @@ door for concurrent request traffic (the ROADMAP's async-serving item):
   :meth:`submit` raises
   :class:`~repro.exceptions.ServiceOverloadedError` so callers shed load
   instead of growing an unbounded queue.
+* **Sharded backing** — construct over a
+  :class:`~repro.shard.service.ShardedQueryService` and the same thread
+  pool dispatches to category-partitioned worker *processes* instead of
+  running the search in-process: admission, coalescing, and grouping are
+  unchanged, but executions overlap on real cores (the per-shard locks
+  serialise only same-shard traffic).  Warm sessions then live
+  worker-side, so group workers carry no client-side session and the
+  overlay barrier below is skipped (each worker is single-threaded over
+  its own buffers).
 * **Update safety** — blocking plan execution runs in the thread pool,
   and packed delta overlays are folded *before* a request is dispatched
   whenever an index is dirty (draining in-flight executions first),
@@ -82,7 +91,9 @@ class AsyncQueryService:
     def __init__(self, service, *, max_inflight: int = 4,
                  max_queue: Optional[int] = None,
                  max_groups: Optional[int] = None, coalesce: bool = True):
-        if not isinstance(service, QueryService):
+        from repro.shard.service import ShardedQueryService
+
+        if not isinstance(service, (QueryService, ShardedQueryService)):
             service = service.service
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
@@ -113,6 +124,9 @@ class AsyncQueryService:
         self._no_pending = asyncio.Event()
         self._no_pending.set()
         self._closed = False
+        #: cache counters of group sessions retired by the max_groups cap
+        #: (kept so cache_stats() reports lifetime totals, not survivors)
+        self._retired_cache_stats: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     async def __aenter__(self) -> "AsyncQueryService":
@@ -131,6 +145,8 @@ class AsyncQueryService:
         tasks = [task for _, task, _ in self._groups.values()]
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
+        for _queue, _task, session in self._groups.values():
+            self._absorb_session_stats(session)
         self._groups.clear()
         self._pool.shutdown(wait=True)
 
@@ -209,6 +225,37 @@ class AsyncQueryService:
         return {key: session for key, (_q, _t, session)
                 in self._groups.items()}
 
+    def _absorb_session_stats(self, session: Optional[SessionCache]) -> None:
+        if session is None:  # sharded backend: warm state lives worker-side
+            return
+        totals = self._retired_cache_stats
+        for name, value in session.stats.as_dict().items():
+            totals[name] = totals.get(name, 0) + value
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Session-cache counters over this front door's whole lifetime.
+
+        Sums the live group sessions plus every session retired by the
+        ``max_groups`` cap.  With a sharded backend the warm state lives
+        in the worker processes, so the counters come from the fleet
+        instead (one ``stats`` exchange per shard).  This is what the TCP
+        protocol's ``{"stats": true}`` request reports.
+        """
+        remote = getattr(self.service, "cache_stats", None)
+        if callable(remote):
+            return remote()
+        totals = dict(self._retired_cache_stats)
+        for session in self.group_sessions().values():
+            for name, value in session.stats.as_dict().items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def cache_hit_rates(self) -> Dict[str, float]:
+        """Per-artefact hit rates derived from :meth:`cache_stats`."""
+        from repro.service.cache import hit_rates_from
+
+        return hit_rates_from(self.cache_stats())
+
     def _group_queue(self, group_key: Tuple) -> asyncio.Queue:
         entry = self._groups.get(group_key)
         if entry is None:
@@ -236,8 +283,9 @@ class AsyncQueryService:
                          if not self._group_load.get(gk)), None)
             if idle is None:
                 return
-            queue, _task, _session = self._groups.pop(idle)
+            queue, _task, session = self._groups.pop(idle)
             self._group_load.pop(idle, None)
+            self._absorb_session_stats(session)
             queue.put_nowait(None)
             self.stats.groups_retired += 1
 
@@ -304,7 +352,13 @@ class AsyncQueryService:
 
     # ------------------------------------------------------------------
     def _dirty_overlays(self) -> bool:
-        inverted = self.service.engine.inverted
+        # A sharded backend has no client-side engine: each worker is
+        # single-threaded over its own indexes, so lazy cursor-time
+        # folding is race-free there and no barrier is needed.
+        engine = getattr(self.service, "engine", None)
+        if engine is None:
+            return False
+        inverted = engine.inverted
         return bool(inverted) and any(getattr(il, "dirty", False)
                                       for il in inverted.values())
 

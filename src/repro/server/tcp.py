@@ -14,6 +14,15 @@ connection.  Records mirror the batch workload format::
 clients can distinguish shed load from bad requests).  Concurrency,
 coalescing, and backpressure all come from the wrapped
 :class:`~repro.server.async_service.AsyncQueryService`.
+
+Operators can inspect a running server without stopping it: a
+``{"stats": true}`` record returns the serving counters plus the
+session-cache counters and per-artefact hit rates (summed over group
+sessions — or over the worker fleet when serving ``--shards``)::
+
+    {"stats": true, "id": "ops-1"}
+    -> {"id": "ops-1", "stats": {"serving": {...}, "cache": {...},
+                                 "hit_rates": {...}}}
 """
 
 from __future__ import annotations
@@ -68,17 +77,49 @@ async def serve(engine, host: str = "127.0.0.1", port: int = 0, *,
                 defaults: Optional[QueryOptions] = None,
                 max_inflight: int = 4,
                 max_queue: Optional[int] = None,
-                max_groups: Optional[int] = None) -> asyncio.AbstractServer:
+                max_groups: Optional[int] = None,
+                service=None) -> asyncio.AbstractServer:
     """Start the TCP server; returns the listening ``asyncio`` server.
 
     The caller owns the server's lifetime (``async with server:`` /
     ``server.serve_forever()``); the wrapped front door is exposed as
     ``server.query_service`` — await its ``close()`` after closing the
     server (the CLI does both).
+
+    ``service`` overrides the execution backend: pass a
+    :class:`~repro.shard.service.ShardedQueryService` to serve from the
+    worker fleet instead of ``engine.service`` (``engine`` may then be
+    ``None`` — requests validate against the sharded service's graph).
     """
     options = defaults if defaults is not None else QueryOptions()
-    aqs = AsyncQueryService(engine.service, max_inflight=max_inflight,
+    backend = service if service is not None else engine.service
+    # Whatever owns the graph validates incoming records.
+    query_maker = service if service is not None else engine
+    aqs = AsyncQueryService(backend, max_inflight=max_inflight,
                             max_queue=max_queue, max_groups=max_groups)
+
+    def _stats_payload(request_id) -> dict:
+        from repro.service.cache import hit_rates_from
+
+        # One counter snapshot serves both fields, so the reported rates
+        # always agree with the reported counters.
+        totals = aqs.cache_stats()
+        return {"id": request_id, "stats": {
+            "serving": aqs.stats.as_dict(),
+            "cache": totals,
+            "hit_rates": hit_rates_from(totals),
+        }}
+
+    async def _stats_response(request_id) -> dict:
+        if service is not None:
+            # Sharded backend: the counters come over the worker pipes —
+            # blocking I/O that must stay off the event loop.
+            return await asyncio.get_running_loop().run_in_executor(
+                aqs._pool, _stats_payload, request_id)
+        # Unsharded: a pure in-memory walk of the live group sessions.
+        # It must run on the loop thread, which owns the group dicts —
+        # an executor thread could race their mutation mid-iteration.
+        return _stats_payload(request_id)
 
     async def handle(reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> None:
@@ -95,9 +136,12 @@ async def serve(engine, host: str = "127.0.0.1", port: int = 0, *,
                     record = json.loads(line)
                     request_id = record.get("id") if isinstance(record, dict) \
                         else None
-                    request = _parse_record(engine, record, options)
-                    result = await aqs.submit(request)
-                    response = _encode_result(result, request_id)
+                    if isinstance(record, dict) and record.get("stats"):
+                        response = await _stats_response(request_id)
+                    else:
+                        request = _parse_record(query_maker, record, options)
+                        result = await aqs.submit(request)
+                        response = _encode_result(result, request_id)
                 except (ValueError, TypeError, KeyError, ReproError) as exc:
                     response = _encode_error(exc, request_id)
                 writer.write(json.dumps(response).encode() + b"\n")

@@ -209,6 +209,25 @@ class SharedDiskState:
         return view, time.perf_counter() - t0
 
 
+#: the warm artefact populations CacheStats tracks hit/miss pairs for
+CACHE_KINDS = ("finder", "dest_kernel", "ch", "disk_view")
+
+
+def hit_rates_from(totals: Dict[str, int]) -> Dict[str, float]:
+    """Per-artefact hit rates from a counter dict (0.0 when never used).
+
+    The one place the hits / (hits + misses) computation lives — used by
+    single sessions, the async front door's aggregated group sessions,
+    and the sharded fleet's summed worker counters alike.
+    """
+    rates: Dict[str, float] = {}
+    for kind in CACHE_KINDS:
+        hits = totals.get(f"{kind}_hits", 0)
+        lookups = hits + totals.get(f"{kind}_misses", 0)
+        rates[kind] = hits / lookups if lookups else 0.0
+    return rates
+
+
 class CacheStats:
     """Hit/miss/eviction/invalidation counters for one session."""
 
@@ -226,12 +245,7 @@ class CacheStats:
 
     def hit_rates(self) -> Dict[str, float]:
         """Per-artefact hit rates (hits / lookups; 0.0 when never used)."""
-        rates: Dict[str, float] = {}
-        for kind in ("finder", "dest_kernel", "ch", "disk_view"):
-            hits = getattr(self, f"{kind}_hits")
-            total = hits + getattr(self, f"{kind}_misses")
-            rates[kind] = hits / total if total else 0.0
-        return rates
+        return hit_rates_from(self.as_dict())
 
 
 class SessionCache:

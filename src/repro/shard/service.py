@@ -1,0 +1,530 @@
+"""Category-partitioned multi-process serving: :class:`ShardedQueryService`.
+
+The ROADMAP's "sharded indexes" scaling layer: N worker processes, each
+owning an engine + warm :class:`~repro.service.service.QueryService`
+over the category subset a :class:`~repro.shard.router.CategoryShardRouter`
+assigns it.  The parent process keeps only the graph and hub labels (for
+request validation and worker bootstrap) — no inverted indexes — and
+routes each request to the owning shard(s) via the resolved plan's
+declared needs, fanning out and merging top-k candidate lists when a
+request's category set spans shards.
+
+Because workers are separate processes, this is the layer that makes the
+serving stack truly parallel on stock CPython: the thread-pool paths
+(``run_batch(max_workers=...)``, ``AsyncQueryService``) overlap only
+IO/allocation under the GIL, while shards overlap the pure-Python search
+itself — one core per shard.
+
+Contract highlights (pinned by ``tests/test_sharded.py``):
+
+* **Cold-equivalence survives sharding** — every answer (results *and*
+  ``QueryStats`` counters) is bit-identical to a fresh unsharded cold
+  engine, including fanned-out spanning requests and post-update runs.
+* **Epoch-synchronized updates** — category updates broadcast to every
+  worker and return only once all have acknowledged, so the next request
+  (to any shard) observes the update exactly like a cold engine would;
+  each worker's own epoch-versioned session cache handles invalidation.
+* **Lifecycle** — workers are spawned on construction and health-checked
+  via :meth:`ping`; :meth:`close` drains in-flight requests (the
+  per-shard request/response protocol is synchronous), asks each worker
+  to exit, and escalates to ``terminate()`` only after a grace period.
+
+Thread safety: one lock per shard serialises that worker's pipe; calls
+for *different* shards proceed concurrently (this is what the async
+front-end's thread pool exploits).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.api import DEFAULT_OPTIONS, QueryOptions, QueryRequest, \
+    merge_query_kwargs
+from repro.core.query import KOSRQuery, make_query
+from repro.exceptions import QueryError, ShardError
+from repro.service.planner import resolve_plan
+from repro.service.service import BatchResult, QueryService
+from repro.shard.router import CategoryShardRouter, merge_topk_results
+from repro.shard.worker import worker_main
+from repro.types import CategoryId, Vertex
+
+#: default seconds to wait for one worker response before declaring it dead
+DEFAULT_TIMEOUT_S = 120.0
+
+
+class ShardedQueryService:
+    """Category-partitioned engines behind a plan-aware router.
+
+    ``graph`` is shared by every shard (topology + category membership);
+    ``labels`` (topology-only, so shard-agnostic) are built once here
+    when not supplied and shipped to each worker, which materialises
+    inverted indexes for its owned categories only.  ``max_dest_kernels``
+    / ``max_finders`` apply to each worker's session cache, exactly as on
+    an unsharded :class:`QueryService`.
+
+    Use as a context manager or call :meth:`close`; workers are daemonic,
+    so they can never outlive the parent even on an unclean exit.
+    """
+
+    def __init__(self, graph, num_shards: int, labels=None,
+                 backend: str = "packed",
+                 overlay_ratio: Optional[float] = None,
+                 max_dest_kernels: Optional[int] = None,
+                 max_finders: Optional[int] = None,
+                 timeout_s: float = DEFAULT_TIMEOUT_S,
+                 start_method: Optional[str] = None,
+                 build_labels: bool = True):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.graph = graph
+        self.backend = backend
+        self.router = CategoryShardRouter(num_shards)
+        self.timeout_s = timeout_s
+        self._rr = itertools.count()
+        self._closed = False
+        self._diverged: Optional[str] = None
+        self._epoch = 0
+        self._fanout_pool = None
+        if labels is None and build_labels:
+            # build_labels=False ships a topology-only fleet: workers hold
+            # no label/inverted indexes and serve only finder-free plans
+            # (GSP family) — the same label-build skip the unsharded CLI
+            # path applies to all-GSP workloads.
+            from repro.labeling.pll_unweighted import build_labels_auto
+
+            labels = build_labels_auto(graph)
+        if backend == "packed" and labels is not None:
+            from repro.labeling.labels import LabelIndex
+            from repro.labeling.packed import PackedLabelIndex
+
+            if isinstance(labels, LabelIndex):
+                labels = PackedLabelIndex.from_index(labels)
+        self.labels = labels
+
+        ctx = mp.get_context(start_method) if start_method else \
+            mp.get_context()
+        self._conns = []
+        self._procs = []
+        self._locks = [threading.Lock() for _ in range(num_shards)]
+        #: per-shard request sequence numbers (guarded by the shard lock);
+        #: workers echo them so stale replies from abandoned (timed-out)
+        #: exchanges are discarded instead of answering a later request
+        self._seqs = [0] * num_shards
+        for shard in range(num_shards):
+            owned = self.router.owned_categories(shard, graph.num_categories)
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=worker_main,
+                args=(child_conn, graph, labels, owned, backend,
+                      overlay_ratio, max_dest_kernels, max_finders),
+                name=f"repro-shard-{shard}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        # Startup handshake: each worker reports health (or its build
+        # error) once its engine + service exist.  The request timeout
+        # does not apply — index builds legitimately take minutes on
+        # large graphs, so the handshake waits as long as the worker
+        # process lives (death is still detected by the poll loop).  On
+        # any failure the already-spawned workers are torn down before
+        # re-raising — a caller that catches and retries must not
+        # accumulate orphaned resident fleets.
+        try:
+            for shard in range(num_shards):
+                self._recv(shard, 0, timeout_s=float("inf"))
+        except BaseException:
+            for proc in self._procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in self._procs:
+                proc.join(timeout=2.0)
+            for conn in self._conns:
+                conn.close()
+            self._closed = True
+            raise
+
+    @classmethod
+    def from_engine(cls, engine, num_shards: int,
+                    **kwargs) -> "ShardedQueryService":
+        """Partition an existing engine's graph + labels across shards.
+
+        The graph is *copied*: the sharded service owns its own category
+        membership (update broadcasts mutate it), and must not invalidate
+        the donor engine's indexes behind its back.  The labels are
+        shared as-is — they are topology-only and read-only here.
+        """
+        kwargs.setdefault("backend", engine.backend)
+        kwargs.setdefault("overlay_ratio", engine._overlay_ratio)
+        return cls(engine.graph.copy(), num_shards, labels=engine.labels,
+                   **kwargs)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self.router.num_shards
+
+    @property
+    def index_epoch(self) -> int:
+        """Router-level update counter (bumped per synchronized broadcast)."""
+        return self._epoch
+
+    def __enter__(self) -> "ShardedQueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _recv(self, shard: int, seq: int,
+              timeout_s: Optional[float] = None):
+        """Receive the reply to exchange ``seq``, discarding stale ones.
+
+        A reply whose echoed sequence number is lower than ``seq``
+        belongs to an exchange that already timed out — its caller got a
+        :class:`ShardError` long ago, so it is dropped here rather than
+        desynchronizing the pipe and answering the wrong request.
+        ``timeout_s`` overrides the service-wide request timeout (the
+        startup handshake passes ``inf``: only worker death ends it).
+        """
+        timeout = self.timeout_s if timeout_s is None else timeout_s
+        conn = self._conns[shard]
+        deadline = time.monotonic() + timeout
+        while True:
+            while not conn.poll(min(0.2, timeout)):
+                if not self._procs[shard].is_alive():
+                    raise ShardError(shard, "worker process died")
+                if time.monotonic() > deadline:
+                    raise ShardError(
+                        shard, f"no response within {timeout:.0f}s")
+            try:
+                kind, reply_seq, payload = conn.recv()
+            except (EOFError, OSError) as exc:
+                raise ShardError(shard, f"worker pipe closed ({exc!r})")
+            if reply_seq < seq:
+                continue  # stale reply from a timed-out exchange
+            if kind == "err":
+                raise payload
+            return payload
+
+    def _dispatch(self, shard: int, msg: tuple):
+        """One synchronous request/response exchange with a worker."""
+        with self._locks[shard]:
+            if self._closed:
+                raise ShardError(shard, "service is closed")
+            self._seqs[shard] += 1
+            seq = self._seqs[shard]
+            try:
+                self._conns[shard].send((msg[0], seq, *msg[1:]))
+            except (BrokenPipeError, OSError) as exc:
+                raise ShardError(shard, f"worker pipe closed ({exc!r})")
+            return self._recv(shard, seq)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def make_query(self, source: Vertex, target: Vertex, categories,
+                   k: int = 1) -> KOSRQuery:
+        """Build and validate a query against the (update-current) graph."""
+        return make_query(self.graph, source, target, categories, k)
+
+    def owners_for(self, query: KOSRQuery,
+                   options: QueryOptions) -> List[int]:
+        """The shard(s) that will serve this request, primary first.
+
+        Resolves the plan (validating method / NN backend / index
+        backend) and reads its declared needs: finder-free plans route
+        round-robin, finder plans route to the owners of the query's
+        categories.  SK-DB is rejected — workers hold no disk store.
+        """
+        plan = resolve_plan(options.method, options.nn_backend, self.backend)
+        if plan.spec.needs_disk:
+            raise QueryError(
+                "SK-DB is not supported in sharded serving: worker shards "
+                "hold in-memory category partitions, not disk stores")
+        if not plan.spec.needs_finder:
+            return [next(self._rr) % self.num_shards]
+        if self.labels is None and options.nn_backend == "label":
+            raise QueryError(
+                "this shard fleet was built without labels "
+                "(build_labels=False); it serves only finder-free plans "
+                "(GSP family) or Dijkstra NN backends")
+        return self.router.owners(query.categories)
+
+    def run(self, request: Union[QueryRequest, KOSRQuery],
+            options: Optional[QueryOptions] = None, *,
+            session=None, **legacy_kwargs):
+        """Answer one request; returns a ``KOSRResult``.
+
+        Accepts a :class:`QueryRequest` or a bare query plus ``options``
+        (deprecated keyword shim as elsewhere).  ``session`` is accepted
+        for :class:`QueryService` signature compatibility and ignored —
+        warm state lives in the workers' own sessions.
+        """
+        if isinstance(request, QueryRequest):
+            query, opts = request.query, request.options
+            if options is not None or legacy_kwargs:
+                raise TypeError("pass options inside the QueryRequest")
+        else:
+            query = request
+            opts = merge_query_kwargs(options, legacy_kwargs,
+                                      "ShardedQueryService.run")
+        return self._run_resolved(query, opts, self.owners_for(query, opts))
+
+    def _ensure_fanout_pool(self):
+        """The persistent dispatch pool for fan-out and broadcasts.
+
+        Created lazily (single-owner requests never need it) and sized
+        to the fleet; per-request executors would pay thread spawn +
+        ``shutdown(wait=True)`` on every spanning query.  Tasks are
+        independent single exchanges, so sharing one pool between
+        concurrent fan-outs and broadcasts can only queue, not deadlock.
+        """
+        if self._fanout_pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._fanout_pool = ThreadPoolExecutor(
+                max_workers=self.num_shards,
+                thread_name_prefix="repro-shard-fanout")
+        return self._fanout_pool
+
+    def _run_resolved(self, query: KOSRQuery, opts: QueryOptions,
+                      owners: List[int]):
+        """Dispatch a query whose owning shard(s) are already resolved."""
+        if self._diverged is not None:
+            raise ShardError(-1, self._diverged)
+        msg = ("query", query, opts)
+        if len(owners) == 1:
+            return self._dispatch(owners[0], msg)
+        # Spanning request: fan out to every owning shard concurrently
+        # (each executes the full deterministic search, as the tentpole
+        # design specifies — the redundancy keeps every owner's warm
+        # state current for its slice of the traffic) and merge the
+        # candidate lists.  The primary runs on the calling thread; only
+        # the secondaries need pool slots.
+        pool = self._ensure_fanout_pool()
+        futures = [pool.submit(self._dispatch, shard, msg)
+                   for shard in owners[1:]]
+        partials = [self._dispatch(owners[0], msg)]
+        partials += [f.result() for f in futures]
+        return merge_topk_results(query, partials)
+
+    def run_batch(self, queries: Sequence[KOSRQuery],
+                  options: Optional[QueryOptions] = None, *,
+                  max_workers: Optional[int] = None,
+                  **legacy_kwargs) -> BatchResult:
+        """Execute a workload across the shards; results in input order.
+
+        Queries are bucketed by primary owner and each bucket runs on its
+        own dispatch thread — true multi-core parallelism, since each
+        bucket's work happens in a separate worker process.
+        ``max_workers`` is accepted for :class:`QueryService` signature
+        compatibility; the parallelism is the shard count.
+        ``cache_stats`` reports this batch's contribution summed over the
+        workers' sessions, like the unsharded batch path.
+        """
+        options = merge_query_kwargs(options, legacy_kwargs,
+                                     "ShardedQueryService.run_batch")
+        queries = list(queries)
+        # Ownership is resolved exactly once per query: the bucket both
+        # places the query on a dispatch thread and is what executes it
+        # (re-resolving inside the run would advance the round-robin
+        # counter again and unpin finder-free queries from their bucket).
+        owners_per_query = [self.owners_for(q, options) for q in queries]
+        buckets: Dict[int, List[int]] = {}
+        for i, owners in enumerate(owners_per_query):
+            buckets.setdefault(owners[0], []).append(i)
+        results: List = [None] * len(queries)
+        before = self.cache_stats()
+        t0 = time.perf_counter()
+
+        def run_bucket(indexes: List[int]) -> None:
+            for i in indexes:
+                results[i] = self._run_resolved(queries[i], options,
+                                                owners_per_query[i])
+
+        if len(buckets) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=len(buckets)) as pool:
+                for future in [pool.submit(run_bucket, indexes)
+                               for indexes in buckets.values()]:
+                    future.result()
+        else:
+            for indexes in buckets.values():
+                run_bucket(indexes)
+        wall = time.perf_counter() - t0
+        after = self.cache_stats()
+        return BatchResult(
+            results=results,
+            wall_time_s=wall,
+            num_groups=len(QueryService.group_queries(queries)),
+            cache_stats={name: after[name] - before.get(name, 0)
+                         for name in after},
+        )
+
+    def new_session(self):
+        """Signature compatibility with :class:`QueryService` (workers own
+        their warm sessions, so the async front-end gets no client-side
+        session)."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Epoch-synchronized updates
+    # ------------------------------------------------------------------
+    def _broadcast(self, msg: tuple) -> List:
+        """Send ``msg`` to every worker concurrently; results in shard order.
+
+        All exchanges are waited out even when one fails (no in-flight
+        exchange may be abandoned mid-pipe); the first failure is then
+        re-raised.  Latency is O(slowest shard), not O(sum) — the same
+        per-shard-lock concurrency the fan-out path uses.
+        """
+        if self.num_shards == 1:
+            return [self._dispatch(0, msg)]
+        pool = self._ensure_fanout_pool()
+        futures = [pool.submit(self._dispatch, shard, msg)
+                   for shard in range(self.num_shards)]
+        results: List = []
+        first_exc: Optional[BaseException] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:
+                if first_exc is None:
+                    first_exc = exc
+        if first_exc is not None:
+            raise first_exc
+        return results
+
+    def _broadcast_update(self, msg: tuple) -> None:
+        """An update broadcast that must reach *every* worker or none serve.
+
+        If a worker fails mid-broadcast the fleet has diverged — some
+        shards applied the update, the rest never will — and serving on
+        would break the bit-identical invariant nondeterministically
+        (finder-free queries round-robin across shards).  The service is
+        poisoned instead: every later query fails fast with the divergence
+        message until the fleet is rebuilt.
+        """
+        try:
+            self._broadcast(msg)
+        except BaseException as exc:
+            self._diverged = (
+                f"update broadcast {msg[0]!r} failed mid-fleet ({exc}); "
+                f"shards have diverged — rebuild the sharded service")
+            raise
+        self._epoch += 1
+
+    def add_vertex_to_category(self, v: Vertex, cid: CategoryId) -> None:
+        """Insert ``cid`` into ``F(v)`` on the parent graph and every shard.
+
+        Returns only once all workers acknowledged, so the next request —
+        whichever shard serves it — observes the update (workers' session
+        caches invalidate via their own index epochs).
+        """
+        self.graph._check_vertex(v)
+        self.graph._check_category(cid)
+        if not self.graph.has_category(v, cid):
+            self.graph.assign_category(v, cid)
+        self._broadcast_update(("update", "add", v, cid))
+
+    def remove_vertex_from_category(self, v: Vertex, cid: CategoryId) -> None:
+        """Remove ``cid`` from ``F(v)`` everywhere (symmetric broadcast)."""
+        self.graph._check_vertex(v)
+        self.graph._check_category(cid)
+        if self.graph.has_category(v, cid):
+            self.graph.unassign_category(v, cid)
+        self._broadcast_update(("update", "remove", v, cid))
+
+    def compact(self) -> None:
+        """Fold every worker's delta overlays in (broadcast, synchronized)."""
+        self._broadcast_update(("compact",))
+
+    def update_edge(self, *args, **kwargs) -> None:
+        """Structure updates rebuild labels — not supported live; fail clearly.
+
+        Hub labels are shared fleet-wide, so an edge change means
+        rebuilding and re-shipping them.  Until that exists (see
+        ROADMAP), rebuild the sharded service from the updated graph.
+        """
+        raise QueryError(
+            "update_edge is not supported on a running sharded service: "
+            "edge changes rebuild the hub labels every worker shares. "
+            "Close this service, apply the edge update to the graph "
+            "(e.g. through an unsharded engine), and construct a new "
+            "ShardedQueryService from the result.")
+
+    # ------------------------------------------------------------------
+    # Observability + lifecycle
+    # ------------------------------------------------------------------
+    def ping(self) -> List[dict]:
+        """Health-check every worker; one report dict per shard.
+
+        A healthy shard reports ``alive: True`` plus its pid, index
+        epoch, and owned/materialised categories; a dead or unresponsive
+        one reports ``alive: False`` with the error instead of raising,
+        so operators see the whole fleet in one call.
+        """
+        reports = []
+        for shard in range(self.num_shards):
+            try:
+                payload = self._dispatch(shard, ("ping",))
+                payload.update({"shard": shard, "alive": True})
+            except Exception as exc:  # report, not raise
+                payload = {"shard": shard, "alive": False,
+                           "error": str(exc)}
+            reports.append(payload)
+        return reports
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Worker session-cache counters summed across all shards."""
+        totals: Dict[str, int] = {}
+        for payload in self._broadcast(("stats",)):
+            for name, value in payload.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def hit_rates(self) -> Dict[str, float]:
+        """Fleet-wide per-artefact cache hit rates (hits / lookups)."""
+        from repro.service.cache import hit_rates_from
+
+        return hit_rates_from(self.cache_stats())
+
+    def close(self, grace_s: float = 2.0) -> None:
+        """Graceful drain + shutdown: ask, wait, then terminate stragglers.
+
+        Safe to call twice.  The per-shard locks serialise against
+        in-flight requests, so a shard is only asked to exit between
+        exchanges — nothing is severed mid-response.
+        """
+        if self._closed:
+            return
+        for shard in range(self.num_shards):
+            with self._locks[shard]:
+                try:
+                    self._seqs[shard] += 1
+                    self._conns[shard].send(("shutdown", self._seqs[shard]))
+                    if self._conns[shard].poll(grace_s):
+                        self._conns[shard].recv()
+                except (BrokenPipeError, EOFError, OSError):
+                    pass
+        self._closed = True
+        if self._fanout_pool is not None:
+            self._fanout_pool.shutdown(wait=True)
+            self._fanout_pool = None
+        for shard, proc in enumerate(self._procs):
+            proc.join(timeout=grace_s)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=grace_s)
+        for conn in self._conns:
+            conn.close()

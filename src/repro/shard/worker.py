@@ -1,0 +1,252 @@
+"""The shard worker process: one engine + warm service per category subset.
+
+Each worker owns a full copy of the (topology-only) graph and hub labels
+but materialises inverted indexes only for the categories its shard
+owns — 1/N of the index build and memory.  Queries arrive as pickled
+``(KOSRQuery, QueryOptions)`` pairs over a ``multiprocessing`` pipe and
+run through a worker-local :class:`~repro.service.service.QueryService`,
+so all the warm-session machinery (epoch validation, cold-equivalent
+counter accounting, LRU caps) applies unchanged inside the process.
+
+Category faulting
+-----------------
+
+A fanned-out or mis-balanced request may name categories this shard does
+not own.  Because hub labels depend only on topology, the worker can
+*fault in* any missing category's inverted index on demand — built fresh
+from the worker's (update-current) graph and labels, it is bit-identical
+to the index an unsharded engine holds, so results and counters stay
+cold-equivalent.  Faulted indexes join ``engine.inverted`` with a zero
+version counter, leaving the index epoch (and therefore the warm
+session) untouched.
+
+Update broadcast contract
+-------------------------
+
+Category updates are broadcast to **every** worker: graph membership
+(``F(v)``) must stay globally consistent because validation and the
+GSP-family executors read it.  A worker patches ``IL(cid)`` only when it
+has that category materialised (owned or previously faulted); otherwise
+it records the membership change alone — a later fault-in rebuilds the
+index from the already-updated graph.  Crucially the worker never
+creates an *empty* index for an unmaterialised category on the update
+path: that would satisfy later ``cid in inverted`` checks with an index
+missing every pre-existing member.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import List, Optional
+
+from repro.api import QueryOptions
+from repro.core.query import KOSRQuery
+from repro.labeling import updates as _updates
+from repro.types import CategoryId
+
+
+def _build_shard_engine(graph, labels, owned: List[CategoryId], backend: str,
+                        overlay_ratio: Optional[float]):
+    """An engine whose inverted indexes cover only ``owned`` categories.
+
+    ``labels=None`` builds a topology-only engine (no label or inverted
+    indexes): the fleet then serves finder-free plans only — the parent
+    router rejects label-backend plans before they reach a worker.
+    """
+    from repro.core.engine import KOSREngine
+    from repro.labeling.inverted import build_inverted_index
+    from repro.labeling.labels import LabelIndex
+    from repro.labeling.packed import PackedLabelIndex
+    from repro.labeling.packed_inverted import build_packed_inverted_index
+
+    if labels is None:
+        engine = KOSREngine(graph, backend=backend)
+        engine.inverted = {}
+        engine._overlay_ratio = overlay_ratio
+        return engine
+    if backend == "packed" and isinstance(labels, LabelIndex):
+        labels = PackedLabelIndex.from_index(labels)
+    elif backend == "object" and isinstance(labels, PackedLabelIndex):
+        labels = labels.to_index()
+    if backend == "packed":
+        inverted = {cid: build_packed_inverted_index(graph, labels, cid)
+                    for cid in owned}
+    else:
+        inverted = {cid: build_inverted_index(graph, labels, cid)
+                    for cid in owned}
+    engine = KOSREngine(graph, labels, inverted, backend=backend)
+    engine._overlay_ratio = overlay_ratio
+    if backend == "packed":
+        KOSREngine._apply_overlay_ratio(inverted, overlay_ratio)
+    return engine
+
+
+class _ShardWorker:
+    """Message loop state for one worker process."""
+
+    def __init__(self, graph, labels, owned: List[CategoryId], backend: str,
+                 overlay_ratio: Optional[float],
+                 max_dest_kernels: Optional[int],
+                 max_finders: Optional[int]):
+        from repro.service.service import QueryService
+
+        self.owned = list(owned)
+        self.engine = _build_shard_engine(graph, labels, owned, backend,
+                                          overlay_ratio)
+        self.service = QueryService(self.engine,
+                                    max_dest_kernels=max_dest_kernels,
+                                    max_finders=max_finders)
+
+    # ------------------------------------------------------------------
+    def ensure_categories(self, categories) -> None:
+        """Fault in inverted indexes this query needs but the shard lacks."""
+        from repro.labeling.inverted import build_inverted_index
+        from repro.labeling.packed_inverted import build_packed_inverted_index
+
+        engine = self.engine
+        if engine.labels is None:
+            from repro.exceptions import QueryError
+
+            raise QueryError(
+                "this shard worker was built without labels "
+                "(build_labels=False); label-backend plans cannot be served")
+        for cid in categories:
+            if cid in engine.inverted:
+                continue
+            if engine.backend == "packed":
+                il = build_packed_inverted_index(engine.graph, engine.labels,
+                                                 cid)
+                if engine._overlay_ratio is not None:
+                    il.overlay_ratio = engine._overlay_ratio
+            else:
+                il = build_inverted_index(engine.graph, engine.labels, cid)
+            engine.inverted[cid] = il
+
+    def run_query(self, query: KOSRQuery, options: QueryOptions):
+        if options.nn_backend == "label":
+            plan = self.service.plan(options.method, options.nn_backend)
+            if plan.spec.needs_finder:
+                self.ensure_categories(query.categories)
+        return self.service.run(query, options)
+
+    def apply_update(self, op: str, v: int, cid: CategoryId) -> int:
+        """One broadcast category update; returns the new index epoch."""
+        engine = self.engine
+        if op == "add":
+            if cid in engine.inverted:
+                _updates.add_vertex_to_category(
+                    engine.graph, engine.labels, engine.inverted, v, cid)
+            elif not engine.graph.has_category(v, cid):
+                engine.graph.assign_category(v, cid)
+        elif op == "remove":
+            if cid in engine.inverted:
+                _updates.remove_vertex_from_category(
+                    engine.graph, engine.labels, engine.inverted, v, cid)
+            elif engine.graph.has_category(v, cid):
+                engine.graph.unassign_category(v, cid)
+        else:
+            raise ValueError(f"unknown category update op {op!r}")
+        return engine.index_epoch
+
+    def health(self) -> dict:
+        return {
+            "pid": os.getpid(),
+            "epoch": self.engine.index_epoch,
+            "owned_categories": list(self.owned),
+            "materialized_categories": sorted(self.engine.inverted),
+        }
+
+
+def _safe_exception(exc: BaseException) -> BaseException:
+    """``exc`` if it survives a pickle round trip, else a plain stand-in."""
+    from repro.exceptions import ReproError
+
+    try:
+        clone = pickle.loads(pickle.dumps(exc))
+        if type(clone) is type(exc) and str(clone) == str(exc):
+            return exc
+    except Exception:
+        pass
+    return ReproError(f"{type(exc).__name__}: {exc}")
+
+
+def _recv_watched(conn, parent_pid: int):
+    """``conn.recv()`` with a parent-death watchdog.
+
+    Under the fork start method every worker inherits copies of
+    parent-side pipe fds (its own pipe's, and earlier siblings'), so a
+    parent that dies without sending ``shutdown`` — SIGTERM, SIGKILL, a
+    crash — never produces EOF on the pipe and a blind ``recv`` would
+    block forever, orphaning the worker.  Poll with a short timeout and
+    exit when the parent pid changes (orphans are re-parented to init /
+    a subreaper): workers follow a dead parent down within ~1s no matter
+    how it died.
+    """
+    while True:
+        if conn.poll(1.0):
+            return conn.recv()
+        if os.getppid() != parent_pid:
+            raise EOFError("parent process died")
+
+
+def worker_main(conn, graph, labels, owned, backend, overlay_ratio,
+                max_dest_kernels, max_finders) -> None:
+    """Entry point of one worker process: serve the pipe until shutdown.
+
+    Messages are ``(kind, seq, *args)`` and every one is answered exactly
+    once with ``("ok", seq, payload)`` or ``("err", seq, exception)``.
+    The echoed sequence number lets the parent discard a reply whose
+    exchange it already abandoned (request timeout), so a slow response
+    can never be mistaken for the answer to a *later* request.  Only
+    ``"shutdown"``, a closed pipe, a dead parent, or an interrupt ends
+    the loop — a failed query never kills the worker.
+    """
+    parent_pid = os.getppid()
+    try:
+        worker = _ShardWorker(graph, labels, owned, backend, overlay_ratio,
+                              max_dest_kernels, max_finders)
+    except BaseException as exc:  # startup failure: report, then exit
+        try:
+            conn.send(("err", 0, _safe_exception(exc)))
+        except (BrokenPipeError, OSError):
+            pass
+        return
+    try:
+        conn.send(("ok", 0, worker.health()))
+    except (BrokenPipeError, OSError):
+        return  # parent died (or tore the fleet down) during our build
+    while True:
+        try:
+            msg = _recv_watched(conn, parent_pid)
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        kind, seq = msg[0], msg[1]
+        if kind == "shutdown":
+            try:
+                conn.send(("ok", seq, "bye"))
+            except (BrokenPipeError, OSError):
+                pass
+            return
+        try:
+            if kind == "query":
+                query, options = msg[2:]
+                reply = ("ok", seq, worker.run_query(query, options))
+            elif kind == "update":
+                op, v, cid = msg[2:]
+                reply = ("ok", seq, worker.apply_update(op, v, cid))
+            elif kind == "compact":
+                worker.engine.compact()
+                reply = ("ok", seq, worker.engine.index_epoch)
+            elif kind == "ping":
+                reply = ("ok", seq, worker.health())
+            elif kind == "stats":
+                reply = ("ok", seq, worker.service.session.stats.as_dict())
+            else:
+                raise ValueError(f"unknown shard message kind {kind!r}")
+        except Exception as exc:
+            reply = ("err", seq, _safe_exception(exc))
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return

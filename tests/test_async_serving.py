@@ -415,3 +415,38 @@ class TestTcpServer:
         assert "unknown method" in bad_method["error"]
         assert "needs 'target'" in malformed["error"]
         assert not_json["kind"] == "JSONDecodeError"
+
+    def test_stats_request_reports_cache_and_hit_rates(self, engine):
+        """Operators can inspect a live server: {"stats": true}."""
+        from repro.server.tcp import serve
+
+        async def scenario():
+            server = await serve(engine, "127.0.0.1", 0,
+                                 defaults=QueryOptions())
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            query = {"source": 0, "target": 30, "categories": [0, 1], "k": 2}
+            for record in (query, query, {"id": "ops", "stats": True}):
+                writer.write(json.dumps(record).encode() + b"\n")
+            await writer.drain()
+            responses = [json.loads(await reader.readline())
+                         for _ in range(3)]
+            writer.close()
+            await writer.wait_closed()
+            server.close()
+            await server.wait_closed()
+            await server.query_service.close()
+            return responses
+
+        first, second, ops = asyncio.run(scenario())
+        assert first["completed"] and second["completed"]
+        assert ops["id"] == "ops"
+        stats = ops["stats"]
+        assert stats["serving"]["submitted"] == 2
+        assert stats["serving"]["executed"] == 2  # sequential: no coalesce
+        # The second identical query ran warm: the group session shows a
+        # hit, and the eviction counters are exposed for operators.
+        assert stats["cache"]["finder_hits"] >= 1
+        assert "dest_kernel_evictions" in stats["cache"]
+        assert "cursor_evictions" in stats["cache"]
+        assert stats["hit_rates"]["finder"] > 0.0

@@ -342,6 +342,25 @@ class TestServeCommand:
         assert exchanged["response"]["id"] == "cli"
         assert exchanged["response"]["costs"][0] == 20
 
+    def test_serve_port_in_use_fails_with_actionable_message(
+            self, fig1_file, capsys):
+        """A bound port yields exit code 1 + a hint, not a traceback."""
+        import socket
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            code = main(["serve", "--graph", fig1_file,
+                         "--port", str(port)])
+        finally:
+            blocker.close()
+        assert code == 1
+        err = capsys.readouterr().err
+        assert f"cannot listen on 127.0.0.1:{port}" in err
+        assert "already in use" in err and "--port" in err
+
 
 class TestPreprocessAndIndexedQuery:
     def test_preprocess_writes_artifacts(self, fig1_file, tmp_path, capsys):

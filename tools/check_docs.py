@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Docs hygiene checker: intra-repo markdown links must resolve.
+
+Scans the repo's markdown files (README plus everything under docs/)
+for ``[text](target)`` links and verifies that every *relative* target
+exists on disk (anchors are stripped; ``http(s)://`` and ``mailto:``
+links are out of scope). Exits nonzero listing each broken link, so the
+CI docs job fails when a rename orphans a reference.
+
+Usage: ``python tools/check_docs.py`` (from anywhere in the repo).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: inline markdown links; images share the syntax bar the leading ``!``
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: schemes that are not filesystem targets
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files() -> list:
+    files = [REPO / "README.md"]
+    files += sorted((REPO / "docs").glob("**/*.md"))
+    return [f for f in files if f.exists()]
+
+
+def check_file(path: Path) -> list:
+    broken = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append((path.relative_to(REPO), lineno, target))
+    return broken
+
+
+def main() -> int:
+    broken = []
+    files = markdown_files()
+    for path in files:
+        broken.extend(check_file(path))
+    if broken:
+        print(f"{len(broken)} broken intra-repo link(s):")
+        for rel, lineno, target in broken:
+            print(f"  {rel}:{lineno}: {target}")
+        return 1
+    print(f"checked {len(files)} markdown file(s): all intra-repo links "
+          f"resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
