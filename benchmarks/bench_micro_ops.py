@@ -292,3 +292,53 @@ def test_sk_query_overlay_empty_cost(fla_engine):
           f"post-update+compact {t_dynamic * 1000:.1f} ms -> {ratio:.3f}x")
     # Identical hot path; generous bound for CI noise only.
     assert ratio < 1.25
+
+
+def test_pipe_pickle_protocol_framing(fla_engine):
+    """Pinned pickle protocol vs the legacy default on shard pipe replies.
+
+    The worker pipes frame every message with
+    ``pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)``
+    (:mod:`repro.shard.worker`); ``multiprocessing.Connection.send``
+    historically used ``DEFAULT_PROTOCOL``.  Measured on a realistic
+    large batch reply — a list of pickled ``QueryResult`` payloads —
+    the pinned protocol must never serialise bigger, and (protocol 5
+    out-of-band-capable framing) typically rounds a few percent
+    smaller/faster on the float-heavy rows.
+    """
+    import pickle
+
+    from repro.shard.worker import PIPE_PICKLE_PROTOCOL
+
+    workload = random_queries(fla_engine.graph, 12, ds.DEFAULT_C_LEN,
+                              ds.DEFAULT_K, seed=167)
+    reply = [fla_engine.run(q, method="SK") for q in workload]
+
+    def measure(protocol):
+        best = float("inf")
+        for _ in range(7):
+            t0 = time.perf_counter()
+            blob = pickle.dumps(reply, protocol=protocol)
+            pickle.loads(blob)
+            best = min(best, time.perf_counter() - t0)
+        return len(pickle.dumps(reply, protocol=protocol)), best
+
+    default_bytes, default_s = measure(pickle.DEFAULT_PROTOCOL)
+    pinned_bytes, pinned_s = measure(PIPE_PICKLE_PROTOCOL)
+    emit_json("bench_micro_pipe_pickle", {
+        "payload": {"dataset": "FLA", "results": len(reply),
+                    "k": ds.DEFAULT_K, "c_len": ds.DEFAULT_C_LEN},
+        "default_protocol": pickle.DEFAULT_PROTOCOL,
+        "pinned_protocol": PIPE_PICKLE_PROTOCOL,
+        "default_bytes": default_bytes,
+        "pinned_bytes": pinned_bytes,
+        "default_round_trip_ms": 1000.0 * default_s,
+        "pinned_round_trip_ms": 1000.0 * pinned_s,
+        "bytes_ratio": pinned_bytes / default_bytes,
+    })
+    print(f"\npipe pickle: default p{pickle.DEFAULT_PROTOCOL} "
+          f"{default_bytes} B / {default_s * 1000:.2f} ms, pinned "
+          f"p{PIPE_PICKLE_PROTOCOL} {pinned_bytes} B / "
+          f"{pinned_s * 1000:.2f} ms")
+    assert PIPE_PICKLE_PROTOCOL >= pickle.DEFAULT_PROTOCOL
+    assert pinned_bytes <= default_bytes

@@ -5,6 +5,7 @@ Subcommands::
     python -m repro.cli generate    --dataset FLA --scale 0.2 --out graph.json
     python -m repro.cli info        --graph graph.json
     python -m repro.cli preprocess  --graph graph.json --out index_dir
+    python -m repro.cli index build --graph graph.json --out index.rpli
     python -m repro.cli query       --graph graph.json --source 0 --target 99 \
                                     --categories cat0,cat3 --k 5 --method SK
     python -m repro.cli batch       --graph graph.json --workload wl.json
@@ -26,6 +27,12 @@ executes a JSON workload through the query service's grouped batch path;
 execute over N category-partitioned worker processes (see
 :mod:`repro.shard`) — answers stay bit-identical to the in-process
 engine while the search itself runs on separate cores.
+
+``index build`` writes the single-file packed index (labels + inverted
+lists, RPLI format); ``query``/``batch``/``async-batch``/``serve``
+accept ``--mmap-index FILE`` to attach to it read-only via ``mmap``
+instead of building — every process that attaches shares one physical
+copy of the index through the OS page cache.
 """
 
 from __future__ import annotations
@@ -83,9 +90,25 @@ def build_parser() -> argparse.ArgumentParser:
     pre.add_argument("--graph", required=True)
     pre.add_argument("--out", required=True, help="index directory")
 
+    idx = sub.add_parser(
+        "index", help="single-file packed index (mmap-shareable)")
+    idx_sub = idx.add_subparsers(dest="index_command", required=True)
+    idx_build = idx_sub.add_parser(
+        "build", help="build the labels once and write one .rpli file "
+                      "that any number of processes can mmap-attach")
+    idx_build.add_argument("--graph", required=True)
+    idx_build.add_argument("--out", required=True, help="index file (.rpli)")
+    idx_build.add_argument("--no-inverted", action="store_true",
+                           help="write only the vertex labels; attached "
+                                "engines rebuild inverted lists per category")
+
     qry = sub.add_parser("query", help="answer a KOSR query")
     qry.add_argument("--graph", required=True)
     qry.add_argument("--index", help="directory written by `preprocess`")
+    qry.add_argument("--mmap-index", metavar="FILE",
+                     help="attach read-only to an `index build` file "
+                          "instead of building (zero-copy, page-cache "
+                          "shared across processes)")
     qry.add_argument("--source", type=int, required=True)
     qry.add_argument("--target", type=int, required=True)
     qry.add_argument("--categories", required=True,
@@ -114,6 +137,9 @@ def build_parser() -> argparse.ArgumentParser:
         """Arguments shared by the `batch` and `async-batch` commands."""
         p.add_argument("--graph", required=True)
         p.add_argument("--index", help="directory written by `preprocess`")
+        p.add_argument("--mmap-index", metavar="FILE",
+                       help="attach read-only to an `index build` file "
+                            "(workers mmap-share one physical copy)")
         p.add_argument("--workload", required=True,
                        help="JSON workload file, or '-' for stdin: a list of "
                             '{"source", "target", "categories", "k"?, '
@@ -168,6 +194,9 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="run the JSON-lines TCP query server")
     srv.add_argument("--graph", required=True)
     srv.add_argument("--index", help="directory written by `preprocess`")
+    srv.add_argument("--mmap-index", metavar="FILE",
+                     help="attach read-only to an `index build` file "
+                          "(workers mmap-share one physical copy)")
     srv.add_argument("--method", default="SK", choices=list(METHODS),
                      help="default method for requests that do not name one")
     srv.add_argument("--nn-backend", default="label", choices=list(NN_BACKENDS))
@@ -248,10 +277,41 @@ def cmd_preprocess(args) -> int:
     return 0
 
 
+def cmd_index(args) -> int:
+    """Build the labels once and write the single-file packed index."""
+    from repro.labeling.packed import write_index_file
+
+    graph = _load_graph(args.graph)
+    t0 = time.perf_counter()
+    engine = KOSREngine.build(graph, name=Path(args.graph).stem)
+    build_s = time.perf_counter() - t0
+    p = engine.preprocessing
+    print(f"labels built in {build_s:.2f}s: avg |Lin| = {p.avg_lin:.1f}, "
+          f"avg |Lout| = {p.avg_lout:.1f}, {p.label_entries} entries")
+    if args.no_inverted:
+        written = write_index_file(args.out, engine.labels, None)
+    else:
+        written = engine.save_index(args.out)
+    what = "labels only" if args.no_inverted else \
+        f"labels + {graph.num_categories} inverted categories"
+    print(f"index ({what}): {written / 1e6:.2f} MB -> {args.out}")
+    print("attach with --mmap-index (query/batch/async-batch/serve); "
+          "attaching processes share one physical copy via the page cache")
+    return 0
+
+
 def _make_engine(args, needs_labels: Optional[bool] = None):
     graph = _load_graph(args.graph)
     backend = getattr(args, "backend", "packed")
     overlay_ratio = getattr(args, "overlay_ratio", None)
+    mmap_index = getattr(args, "mmap_index", None)
+    if mmap_index:
+        if backend != "packed":
+            raise SystemExit("--mmap-index requires --backend packed "
+                             "(the file holds packed flat buffers)")
+        return KOSREngine.from_index_file(graph, mmap_index,
+                                          name=Path(args.graph).stem,
+                                          overlay_ratio=overlay_ratio)
     if args.index:
         labels_path = Path(args.index) / "labels.bin"
         packed = PackedLabelIndex.load(labels_path)
@@ -303,8 +363,12 @@ def _make_sharded(args, build_labels: bool = True):
     if args.shards < 1:
         raise SystemExit("--shards must be >= 1")
     graph = _load_graph(args.graph)
+    index_path = getattr(args, "mmap_index", None)
+    if index_path and args.backend != "packed":
+        raise SystemExit("--mmap-index requires --backend packed "
+                         "(the file holds packed flat buffers)")
     labels = None
-    if args.index:
+    if args.index and not index_path:
         labels = PackedLabelIndex.load(Path(args.index) / "labels.bin")
     return ShardedQueryService(
         graph, args.shards, labels=labels, backend=args.backend,
@@ -312,6 +376,7 @@ def _make_sharded(args, build_labels: bool = True):
         max_dest_kernels=getattr(args, "max_dest_kernels", None),
         max_finders=getattr(args, "max_finders", None),
         build_labels=build_labels,
+        index_path=index_path,
     )
 
 
@@ -725,6 +790,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": cmd_generate,
         "info": cmd_info,
         "preprocess": cmd_preprocess,
+        "index": cmd_index,
         "query": cmd_query,
         "batch": cmd_batch,
         "async-batch": cmd_async_batch,

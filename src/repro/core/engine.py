@@ -125,6 +125,9 @@ class KOSREngine:
         #: and explicit compaction; see :attr:`index_epoch`)
         self._epoch_base = 0
         self._service: Optional[QueryService] = None
+        #: the open MmapIndexFile when this engine attached one
+        #: (:meth:`from_index_file`); kept so the mapping outlives views
+        self._index_file = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -241,6 +244,122 @@ class KOSREngine:
         engine = cls(graph, labels, inverted, stats, backend=backend)
         engine._overlay_ratio = overlay_ratio
         return engine
+
+    @classmethod
+    def from_index_file(
+        cls,
+        graph: Graph,
+        path,
+        name: str = "",
+        overlay_ratio: Optional[float] = None,
+    ) -> "KOSREngine":
+        """Attach a saved RPLI index file zero-copy (mmap, no build).
+
+        The returned engine runs the packed backend over
+        :class:`~repro.labeling.mmap_index.MmapLabelIndex` /
+        ``MmapInvertedIndex`` views into the file: construction is an
+        ``open`` + ``mmap`` + header parse, and every process attaching
+        the same file shares one physical index through the OS page
+        cache.  Categories the file lacks inverted sections for (or all
+        of them, for a labels-only file) are built privately from
+        ``graph`` + the mapped labels.  Results are bit-identical to an
+        engine built from scratch (parity-tested).
+        """
+        from repro.exceptions import IndexStorageError
+        from repro.labeling.mmap_index import MmapIndexFile
+        from repro.labeling.packed_inverted import build_packed_inverted_index
+
+        index_file = MmapIndexFile.open(path)
+        try:
+            if index_file.num_vertices != graph.num_vertices:
+                raise IndexStorageError(
+                    f"{path}: index file covers {index_file.num_vertices} "
+                    f"vertices but the graph has {graph.num_vertices}")
+            labels = index_file.labels
+            stats = PreprocessingStats(
+                graph_name=name,
+                num_vertices=graph.num_vertices,
+                num_edges=graph.num_edges,
+            )
+            stats.avg_lin, stats.avg_lout = labels.average_label_sizes()
+            stats.label_entries = labels.size_entries()
+            t0 = time.perf_counter()
+            inverted = {}
+            for cid in range(graph.num_categories):
+                if index_file.has_category(cid):
+                    inverted[cid] = index_file.inverted_view(cid)
+                else:
+                    inverted[cid] = build_packed_inverted_index(
+                        graph, labels, cid)
+            cls._apply_overlay_ratio(inverted, overlay_ratio)
+            stats.inverted_build_seconds = time.perf_counter() - t0
+            cls._inverted_stats(stats, inverted)
+        except Exception:
+            index_file.close()
+            raise
+        engine = cls(graph, labels, inverted, stats, backend="packed")
+        engine._overlay_ratio = overlay_ratio
+        engine._index_file = index_file
+        return engine
+
+    # ------------------------------------------------------------------
+    # Index persistence + memory accounting
+    # ------------------------------------------------------------------
+    def save_index(self, path) -> int:
+        """Write labels + inverted indexes as one RPLI v2 index file.
+
+        The file is what :meth:`from_index_file` (and shard workers in
+        mmap mode) attach zero-copy.  Packed backend only — the object
+        backend has no flat buffers to dump.  Returns bytes written.
+        """
+        from repro.labeling.packed import write_index_file
+
+        if self.labels is None or self.inverted is None:
+            raise QueryError("build the indexes before saving an index file")
+        if self.backend != "packed":
+            raise QueryError(
+                f"index files require the packed backend, not "
+                f"{self.backend!r}")
+        return write_index_file(path, self.labels, self.inverted)
+
+    def index_memory(self) -> Dict[str, object]:
+        """Resident vs serialized index footprint of this engine.
+
+        ``*_resident`` estimates live in-process bytes (near zero for
+        mmap-attached indexes, whose pages are shared file cache);
+        ``*_serialized`` is the 8-bytes-per-element at-rest size.  The
+        object backend reports zeros — it has no flat buffers to
+        account.  Surfaced per worker through the TCP ``{"stats": true}``
+        reply.
+        """
+        labels = self.labels
+        inverted = self.inverted or {}
+        labels_resident = int(getattr(labels, "nbytes_resident", 0) or 0)
+        labels_serialized = int(getattr(labels, "nbytes_serialized", 0) or 0)
+        inverted_resident = sum(
+            int(getattr(il, "nbytes_resident", 0) or 0)
+            for il in inverted.values())
+        inverted_serialized = sum(
+            int(getattr(il, "nbytes_serialized", 0) or 0)
+            for il in inverted.values())
+        payload: Dict[str, object] = {
+            "backend": self.backend,
+            "shared": bool(getattr(labels, "is_mmap", False)),
+            "labels_resident": labels_resident,
+            "labels_serialized": labels_serialized,
+            "inverted_resident": inverted_resident,
+            "inverted_serialized": inverted_serialized,
+            "inverted_categories": len(inverted),
+            "inverted_shared": sum(
+                1 for il in inverted.values()
+                if getattr(il, "is_mmap", False)),
+            "total_resident": labels_resident + inverted_resident,
+            "total_serialized": labels_serialized + inverted_serialized,
+        }
+        if self._index_file is not None:
+            payload["index_file"] = self._index_file.path
+            payload["index_file_bytes"] = self._index_file.size_bytes
+        return payload
 
     # ------------------------------------------------------------------
     # Index epoch + service access

@@ -12,6 +12,9 @@
   flat-buffer counterparts of the label and inverted indexes; the default
   ("packed") query backend operates on these without materialising
   per-entry objects.
+* :mod:`repro.labeling.mmap_index` — zero-copy read-only views over a
+  saved index file: build once, ``mmap``-attach from any number of
+  processes, share one physical copy through the OS page cache.
 * :mod:`repro.labeling.storage` — disk-resident per-category shards (SK-DB).
 * :mod:`repro.labeling.updates` — dynamic category/structure updates
   (Sec. IV-C) for both backends; the packed backend absorbs category
@@ -27,7 +30,16 @@ from repro.labeling.pll_unweighted import (
     graph_is_unit_weight,
 )
 from repro.labeling.inverted import InvertedLabelIndex, build_inverted_indexes
-from repro.labeling.packed import PackedLabelIndex
+from repro.labeling.mmap_index import (
+    MmapIndexFile,
+    MmapInvertedIndex,
+    MmapLabelIndex,
+)
+from repro.labeling.packed import (
+    IndexFileLayout,
+    PackedLabelIndex,
+    write_index_file,
+)
 from repro.labeling.packed_inverted import (
     PackedInvertedIndex,
     build_packed_inverted_index,
@@ -54,6 +66,11 @@ __all__ = [
     "build_inverted_indexes",
     "PackedLabelIndex",
     "PackedInvertedIndex",
+    "MmapIndexFile",
+    "MmapLabelIndex",
+    "MmapInvertedIndex",
+    "IndexFileLayout",
+    "write_index_file",
     "build_packed_inverted_index",
     "build_packed_inverted_indexes",
     "CategoryShardStore",

@@ -39,11 +39,12 @@ buffers garbage-free.
 
 from __future__ import annotations
 
+import sys
 from bisect import insort
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.graph.graph import Graph
-from repro.labeling.packed import PackedLabelIndex
+from repro.labeling.packed import PackedLabelIndex, _buffer_resident_bytes
 from repro.types import CategoryId, Cost, Vertex
 
 #: shared empty-slice sentinel for hubs absent from a category
@@ -344,6 +345,37 @@ class PackedInvertedIndex:
         if not self.slices:
             return 0.0
         return self._live / len(self.slices)
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+    @property
+    def nbytes_serialized(self) -> int:
+        """At-rest byte size if written to an index file right now.
+
+        Per category the file stores the live ``(dist, member)`` pairs
+        plus hub, rank, and run-boundary directories, 8 bytes each.
+        """
+        hubs = len(self.slices)
+        return 8 * (2 * self._live + 3 * hubs + 1)
+
+    @property
+    def nbytes_resident(self) -> int:
+        """Estimated live in-process footprint of the current buffers.
+
+        Counts the flat buffers as held — including overlay garbage not
+        yet reclaimed by :meth:`compact` — plus the slice directories.
+        """
+        return (_buffer_resident_bytes(self.dists)
+                + _buffer_resident_bytes(self.members)
+                + sys.getsizeof(self.slices)
+                + sys.getsizeof(self.rank_slices)
+                + sys.getsizeof(self.hub_ranks))
+
+    @property
+    def nbytes(self) -> int:
+        """Actual in-memory footprint (alias of :attr:`nbytes_resident`)."""
+        return self.nbytes_resident
 
 
 def build_packed_inverted_index(

@@ -57,7 +57,9 @@ class CategoryShardStore:
         # role here).
         vertex_payload = {
             "version": self.VERSION,
-            "order": labels.order,
+            # list() so mmap-backed labels (whose order is a memoryview
+            # into the index file) serialise like list-backed ones
+            "order": list(labels.order),
             "lin": [self._pack(labels.lin(v)) for v in range(labels.num_vertices)],
             "lout": [self._pack(labels.lout(v)) for v in range(labels.num_vertices)],
         }

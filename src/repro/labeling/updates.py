@@ -48,14 +48,30 @@ def _check_updatable(inverted: InvertedMap) -> None:
     Every category's index is inspected — not just the first — so a
     mapping polluted with a foreign type anywhere fails before ``F(v)``
     or any sibling index is touched, keeping graph and index state
-    consistent.
+    consistent.  Immutable mmap views qualify: the mutation path swaps
+    them for a private list-backed materialisation first (see
+    :func:`_materialize_if_view`).
     """
     for il in inverted.values():
-        if not isinstance(il, (InvertedLabelIndex, PackedInvertedIndex)):
+        if not (isinstance(il, (InvertedLabelIndex, PackedInvertedIndex))
+                or getattr(il, "is_mmap", False)):
             raise IndexBuildError(
                 "incremental category updates require InvertedLabelIndex or "
                 f"PackedInvertedIndex values, got {type(il).__name__!r}"
             )
+
+
+def _materialize_if_view(inverted: InvertedMap, cid: CategoryId):
+    """Swap a shared mmap view for a private mutable copy before mutating.
+
+    The shared file pages stay untouched for every other process mapping
+    the same index file; only this process pays for a list-backed copy of
+    the one category being mutated.
+    """
+    il = inverted.get(cid)
+    if il is not None and getattr(il, "is_mmap", False):
+        il = inverted[cid] = il.materialize()
+    return il
 
 
 def _new_category_index(
@@ -63,7 +79,7 @@ def _new_category_index(
 ) -> Union[InvertedLabelIndex, PackedInvertedIndex]:
     """An empty index of the same backend as its siblings (or the labels)."""
     for il in inverted.values():
-        if isinstance(il, PackedInvertedIndex):
+        if isinstance(il, PackedInvertedIndex) or getattr(il, "is_mmap", False):
             fresh = PackedInvertedIndex.empty(cid)
             fresh.overlay_ratio = il.overlay_ratio
             return fresh
@@ -85,7 +101,7 @@ def add_vertex_to_category(
     if graph.has_category(v, cid):
         return
     graph.assign_category(v, cid)
-    il = inverted.get(cid)
+    il = _materialize_if_view(inverted, cid)
     if il is None:
         il = inverted[cid] = _new_category_index(inverted, labels, cid)
     if isinstance(il, PackedInvertedIndex):
@@ -110,7 +126,7 @@ def remove_vertex_from_category(
     if not graph.has_category(v, cid):
         return
     graph.unassign_category(v, cid)
-    il = inverted.get(cid)
+    il = _materialize_if_view(inverted, cid)
     if il is None:
         return
     if isinstance(il, PackedInvertedIndex):

@@ -250,18 +250,36 @@ class PackedLabelNNFinder(NearestNeighborFinder):
         dist_get = target_dists.get
         inf = INFINITY
 
-        def dest_distance(v: Vertex) -> Cost:
-            if v == target:
-                return 0.0
-            lo, hi = offsets[v], offsets[v + 1]
-            best = inf
-            # map() runs the dict probe in C; only hub hits reach the body.
-            for d, dd in zip(dists[lo:hi], map(dist_get, ranks[lo:hi])):
-                if dd is not None:
-                    total = d + dd
-                    if total < best:
-                        best = total
-            return best
+        if type(ranks) is list:
+            def dest_distance(v: Vertex) -> Cost:
+                if v == target:
+                    return 0.0
+                lo, hi = offsets[v], offsets[v + 1]
+                best = inf
+                # map() runs the dict probe in C; only hub hits reach
+                # the body.
+                for d, dd in zip(dists[lo:hi], map(dist_get, ranks[lo:hi])):
+                    if dd is not None:
+                        total = d + dd
+                        if total < best:
+                            best = total
+                return best
+        else:
+            def dest_distance(v: Vertex) -> Cost:
+                if v == target:
+                    return 0.0
+                lo, hi = offsets[v], offsets[v + 1]
+                best = inf
+                # mmap-backed labels: decode the probe's whole label run
+                # at C speed instead of re-boxing per element.  Same hub
+                # set, same additions — results stay bit-identical.
+                for d, dd in zip(dists[lo:hi].tolist(),
+                                 map(dist_get, ranks[lo:hi].tolist())):
+                    if dd is not None:
+                        total = d + dd
+                        if total < best:
+                            best = total
+                return best
 
         return dest_distance
 
@@ -289,7 +307,14 @@ class PackedLabelNNFinder(NearestNeighborFinder):
         pairs = self._source_hubs.get(source)
         if pairs is None:
             lo, hi = self._out_offsets[source], self._out_offsets[source + 1]
-            pairs = (self._out_ranks[lo:hi], self._out_dists[lo:hi])
+            ranks = self._out_ranks[lo:hi]
+            dists = self._out_dists[lo:hi]
+            if type(ranks) is not list:
+                # mmap-backed labels: slicing yields memoryviews, whose
+                # per-element indexing re-boxes; decode the whole run in
+                # one C pass so downstream loops see plain lists.
+                ranks, dists = ranks.tolist(), dists.tolist()
+            pairs = (ranks, dists)
             self._source_hubs[source] = pairs
         return pairs
 

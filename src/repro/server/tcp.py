@@ -22,7 +22,12 @@ sessions — or over the worker fleet when serving ``--shards``)::
 
     {"stats": true, "id": "ops-1"}
     -> {"id": "ops-1", "stats": {"serving": {...}, "cache": {...},
-                                 "hit_rates": {...}}}
+                                 "hit_rates": {...},
+                                 "index_memory": {...}}}
+
+``index_memory`` reports the resident-vs-serialized index footprint
+(per worker when serving ``--shards``), including whether the index is
+an mmap-shared attachment (``shared: true``).
 """
 
 from __future__ import annotations
@@ -104,11 +109,18 @@ async def serve(engine, host: str = "127.0.0.1", port: int = 0, *,
         # One counter snapshot serves both fields, so the reported rates
         # always agree with the reported counters.
         totals = aqs.cache_stats()
-        return {"id": request_id, "stats": {
+        payload = {"id": request_id, "stats": {
             "serving": aqs.stats.as_dict(),
             "cache": totals,
             "hit_rates": hit_rates_from(totals),
         }}
+        index_memory = getattr(backend, "index_memory", None)
+        if callable(index_memory):
+            # Resident-vs-serialized index footprint (per worker for a
+            # sharded backend), so operators can watch index memory
+            # without touching the process.
+            payload["stats"]["index_memory"] = index_memory()
+        return payload
 
     async def _stats_response(request_id) -> dict:
         if service is not None:

@@ -208,14 +208,24 @@ class QueryService:
         """Merge any dirty packed-overlay deltas into the flat buffers.
 
         After this, cursor creation is read-only over the inverted
-        indexes, making them safe to share across worker threads.
+        indexes, making them safe to share across worker threads.  Mmap
+        views are skipped: their "dirty" state only means some hub runs
+        are still undecoded — decode is internally locked (thread-safe
+        already), and eagerly decoding the whole file here would trade
+        the shared page cache for a private copy per process.
         """
         inverted = self.engine.inverted
         if not inverted:
             return
         for il in inverted.values():
-            if getattr(il, "dirty", False):
+            if getattr(il, "dirty", False) and not getattr(il, "is_mmap",
+                                                           False):
                 il._patch_all()
+
+    def index_memory(self) -> Dict[str, object]:
+        """Index memory accounting of the backing engine (see
+        :meth:`~repro.core.engine.KOSREngine.index_memory`)."""
+        return self.engine.index_memory()
 
     @staticmethod
     def _sum_cache_stats(sessions: Sequence[SessionCache]) -> Dict[str, int]:

@@ -38,6 +38,8 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing as mp
+import os
+import tempfile
 import threading
 import time
 from typing import Dict, List, Optional, Sequence, Union
@@ -49,7 +51,7 @@ from repro.exceptions import QueryError, ShardError
 from repro.service.planner import resolve_plan
 from repro.service.service import BatchResult, QueryService
 from repro.shard.router import CategoryShardRouter, merge_topk_results
-from repro.shard.worker import worker_main
+from repro.shard.worker import pipe_recv, pipe_send, worker_main
 from repro.types import CategoryId, Vertex
 
 #: default seconds to wait for one worker response before declaring it dead
@@ -66,6 +68,16 @@ class ShardedQueryService:
     / ``max_finders`` apply to each worker's session cache, exactly as on
     an unsharded :class:`QueryService`.
 
+    ``mmap_index=True`` switches worker bootstrap to build-once/
+    attach-many: the parent builds and saves the full index (labels plus
+    *every* category's inverted sections) to one temp RPLI file, and
+    each worker attaches it read-only via ``mmap`` — spawn is an
+    open+mmap instead of any index build, and the whole fleet shares a
+    single physical index through the OS page cache.  ``index_path``
+    attaches a pre-saved file (``KOSREngine.save_index`` / the CLI's
+    ``index build``) instead, skipping the parent build too.  Packed
+    backend only.
+
     Use as a context manager or call :meth:`close`; workers are daemonic,
     so they can never outlive the parent even on an unclean exit.
     """
@@ -77,7 +89,9 @@ class ShardedQueryService:
                  max_finders: Optional[int] = None,
                  timeout_s: float = DEFAULT_TIMEOUT_S,
                  start_method: Optional[str] = None,
-                 build_labels: bool = True):
+                 build_labels: bool = True,
+                 index_path=None,
+                 mmap_index: bool = False):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.graph = graph
@@ -89,7 +103,57 @@ class ShardedQueryService:
         self._diverged: Optional[str] = None
         self._epoch = 0
         self._fanout_pool = None
-        if labels is None and build_labels:
+        self._index_file = None
+        self._owns_index_file = False
+        self.index_path: Optional[str] = None
+        if index_path is not None:
+            mmap_index = True
+        if mmap_index and backend != "packed":
+            raise QueryError(
+                f"mmap index serving requires the packed backend, not "
+                f"{backend!r}")
+        if mmap_index and index_path is None:
+            # Build-once/attach-many: the parent builds the full index
+            # (labels + every category's inverted sections), saves it as
+            # one RPLI file, and every worker attaches that file instead
+            # of rebuilding — spawn is an open+mmap and the OS page
+            # cache holds a single physical index for the whole fleet.
+            from repro.labeling.labels import LabelIndex
+            from repro.labeling.packed import (PackedLabelIndex,
+                                               write_index_file)
+            from repro.labeling.packed_inverted import \
+                build_packed_inverted_indexes
+            from repro.labeling.pll_unweighted import build_labels_auto
+
+            if labels is None:
+                labels = build_labels_auto(graph)
+            if isinstance(labels, LabelIndex):
+                labels = PackedLabelIndex.from_index(labels)
+            inverted = build_packed_inverted_indexes(graph, labels)
+            fd, tmp = tempfile.mkstemp(prefix="repro-index-",
+                                       suffix=".rpli")
+            os.close(fd)
+            write_index_file(tmp, labels, inverted)
+            index_path = tmp
+            self._owns_index_file = True
+            # Free the parent's list-backed copies before spawning so
+            # (fork) children inherit only the mapped pages, not the
+            # private build artefacts.
+            del inverted
+            labels = None
+        if index_path is not None:
+            from repro.labeling.mmap_index import MmapIndexFile
+
+            self.index_path = str(index_path)
+            self._index_file = MmapIndexFile.open(index_path)
+            if self._index_file.num_vertices != graph.num_vertices:
+                file_vertices = self._index_file.num_vertices
+                self._cleanup_index_file()
+                raise QueryError(
+                    f"{index_path}: index file covers {file_vertices} "
+                    f"vertices but the graph has {graph.num_vertices}")
+            labels = self._index_file.labels
+        elif labels is None and build_labels:
             # build_labels=False ships a topology-only fleet: workers hold
             # no label/inverted indexes and serve only finder-free plans
             # (GSP family) — the same label-build skip the unsharded CLI
@@ -104,6 +168,9 @@ class ShardedQueryService:
             if isinstance(labels, LabelIndex):
                 labels = PackedLabelIndex.from_index(labels)
         self.labels = labels
+        # mmap workers attach the file themselves: ship them the path,
+        # not the (unpicklable, and pointlessly large) mapped labels.
+        worker_labels = None if self.index_path is not None else labels
 
         ctx = mp.get_context(start_method) if start_method else \
             mp.get_context()
@@ -119,8 +186,9 @@ class ShardedQueryService:
             parent_conn, child_conn = ctx.Pipe(duplex=True)
             proc = ctx.Process(
                 target=worker_main,
-                args=(child_conn, graph, labels, owned, backend,
-                      overlay_ratio, max_dest_kernels, max_finders),
+                args=(child_conn, graph, worker_labels, owned, backend,
+                      overlay_ratio, max_dest_kernels, max_finders,
+                      self.index_path),
                 name=f"repro-shard-{shard}",
                 daemon=True,
             )
@@ -148,7 +216,25 @@ class ShardedQueryService:
             for conn in self._conns:
                 conn.close()
             self._closed = True
+            self._cleanup_index_file()
             raise
+
+    def _cleanup_index_file(self) -> None:
+        """Release the parent's mapping; unlink the temp file if we made it.
+
+        Unlinking is safe on Linux even while workers still serve from
+        the file: their mappings keep the inode (and its page-cache
+        pages) alive until the last one closes.
+        """
+        if self._index_file is not None:
+            self._index_file.close()
+            self._index_file = None
+        if self._owns_index_file and self.index_path is not None:
+            try:
+                os.unlink(self.index_path)
+            except OSError:
+                pass
+            self._owns_index_file = False
 
     @classmethod
     def from_engine(cls, engine, num_shards: int,
@@ -206,7 +292,7 @@ class ShardedQueryService:
                     raise ShardError(
                         shard, f"no response within {timeout:.0f}s")
             try:
-                kind, reply_seq, payload = conn.recv()
+                kind, reply_seq, payload = pipe_recv(conn)
             except (EOFError, OSError) as exc:
                 raise ShardError(shard, f"worker pipe closed ({exc!r})")
             if reply_seq < seq:
@@ -223,7 +309,7 @@ class ShardedQueryService:
             self._seqs[shard] += 1
             seq = self._seqs[shard]
             try:
-                self._conns[shard].send((msg[0], seq, *msg[1:]))
+                pipe_send(self._conns[shard], (msg[0], seq, *msg[1:]))
             except (BrokenPipeError, OSError) as exc:
                 raise ShardError(shard, f"worker pipe closed ({exc!r})")
             return self._recv(shard, seq)
@@ -499,6 +585,30 @@ class ShardedQueryService:
 
         return hit_rates_from(self.cache_stats())
 
+    def index_memory(self) -> Dict[str, object]:
+        """Per-worker and fleet-wide index memory accounting.
+
+        Each shard reports its engine's resident/serialized split (see
+        :meth:`~repro.core.engine.KOSREngine.index_memory`) plus its OS
+        RSS/USS; the fleet totals make the shared-vs-private story
+        visible: an mmap fleet's ``total_resident`` stays a sliver of
+        ``index_file_bytes`` regardless of shard count.
+        """
+        shards = self._broadcast(("memory",))
+        payload: Dict[str, object] = {
+            "num_shards": self.num_shards,
+            "shared": bool(shards) and all(s.get("shared") for s in shards),
+            "total_resident": sum(s.get("total_resident", 0)
+                                  for s in shards),
+            "total_serialized": sum(s.get("total_serialized", 0)
+                                    for s in shards),
+            "shards": shards,
+        }
+        if self._index_file is not None:
+            payload["index_file"] = self.index_path
+            payload["index_file_bytes"] = self._index_file.size_bytes
+        return payload
+
     def close(self, grace_s: float = 2.0) -> None:
         """Graceful drain + shutdown: ask, wait, then terminate stragglers.
 
@@ -512,9 +622,10 @@ class ShardedQueryService:
             with self._locks[shard]:
                 try:
                     self._seqs[shard] += 1
-                    self._conns[shard].send(("shutdown", self._seqs[shard]))
+                    pipe_send(self._conns[shard],
+                              ("shutdown", self._seqs[shard]))
                     if self._conns[shard].poll(grace_s):
-                        self._conns[shard].recv()
+                        pipe_recv(self._conns[shard])
                 except (BrokenPipeError, EOFError, OSError):
                     pass
         self._closed = True
@@ -528,3 +639,4 @@ class ShardedQueryService:
                 proc.join(timeout=grace_s)
         for conn in self._conns:
             conn.close()
+        self._cleanup_index_file()

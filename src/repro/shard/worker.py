@@ -45,14 +45,66 @@ from repro.core.query import KOSRQuery
 from repro.labeling import updates as _updates
 from repro.types import CategoryId
 
+#: shard pipe framing protocol.  ``multiprocessing.Connection.send``
+#: uses pickle's *default* protocol; pinning the highest one shrinks and
+#: speeds the framing of large batch replies (see ``bench_micro_ops``),
+#: and both pipe ends agree by construction since parent and workers
+#: import this constant.
+PIPE_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+def pipe_send(conn, obj) -> None:
+    """``conn.send`` with the pipe pickle protocol pinned."""
+    conn.send_bytes(pickle.dumps(obj, protocol=PIPE_PICKLE_PROTOCOL))
+
+
+def pipe_recv(conn):
+    """Inverse of :func:`pipe_send` (plain unpickle of one frame)."""
+    return pickle.loads(conn.recv_bytes())
+
+
+def proc_rss_bytes() -> int:
+    """This process's resident set size (0 where /proc is unavailable)."""
+    try:
+        with open("/proc/self/statm") as f:
+            return int(f.read().split()[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        return 0
+
+
+def proc_uss_bytes() -> int:
+    """This process's unique set size: private clean + dirty pages.
+
+    USS is what distinguishes a worker *sharing* an mmap'ed index (file
+    pages count in RSS but not here) from one owning a private copy.
+    Returns 0 where ``/proc/self/smaps_rollup`` is unavailable.
+    """
+    try:
+        total = 0
+        with open("/proc/self/smaps_rollup") as f:
+            for line in f:
+                if line.startswith(("Private_Clean:", "Private_Dirty:")):
+                    total += int(line.split()[1]) * 1024
+        return total
+    except (OSError, ValueError, IndexError):
+        return 0
+
 
 def _build_shard_engine(graph, labels, owned: List[CategoryId], backend: str,
-                        overlay_ratio: Optional[float]):
+                        overlay_ratio: Optional[float],
+                        index_path: Optional[str] = None):
     """An engine whose inverted indexes cover only ``owned`` categories.
 
-    ``labels=None`` builds a topology-only engine (no label or inverted
-    indexes): the fleet then serves finder-free plans only — the parent
-    router rejects label-backend plans before they reach a worker.
+    ``index_path`` switches the worker to zero-copy spawn: instead of
+    building anything, it mmaps the parent-saved index file and serves
+    labels plus its owned categories as shared read-only views — the OS
+    page cache holds one physical index for the whole fleet.  Categories
+    the file lacks are built privately from graph + mapped labels.
+
+    ``labels=None`` (without ``index_path``) builds a topology-only
+    engine (no label or inverted indexes): the fleet then serves
+    finder-free plans only — the parent router rejects label-backend
+    plans before they reach a worker.
     """
     from repro.core.engine import KOSREngine
     from repro.labeling.inverted import build_inverted_index
@@ -60,6 +112,23 @@ def _build_shard_engine(graph, labels, owned: List[CategoryId], backend: str,
     from repro.labeling.packed import PackedLabelIndex
     from repro.labeling.packed_inverted import build_packed_inverted_index
 
+    if index_path is not None:
+        from repro.labeling.mmap_index import MmapIndexFile
+
+        index_file = MmapIndexFile.open(index_path)
+        mmap_labels = index_file.labels
+        inverted = {}
+        for cid in owned:
+            if index_file.has_category(cid):
+                inverted[cid] = index_file.inverted_view(cid)
+            else:
+                inverted[cid] = build_packed_inverted_index(
+                    graph, mmap_labels, cid)
+        engine = KOSREngine(graph, mmap_labels, inverted, backend="packed")
+        engine._overlay_ratio = overlay_ratio
+        engine._index_file = index_file
+        KOSREngine._apply_overlay_ratio(inverted, overlay_ratio)
+        return engine
     if labels is None:
         engine = KOSREngine(graph, backend=backend)
         engine.inverted = {}
@@ -88,15 +157,21 @@ class _ShardWorker:
     def __init__(self, graph, labels, owned: List[CategoryId], backend: str,
                  overlay_ratio: Optional[float],
                  max_dest_kernels: Optional[int],
-                 max_finders: Optional[int]):
+                 max_finders: Optional[int],
+                 index_path: Optional[str] = None):
         from repro.service.service import QueryService
 
         self.owned = list(owned)
         self.engine = _build_shard_engine(graph, labels, owned, backend,
-                                          overlay_ratio)
+                                          overlay_ratio, index_path)
         self.service = QueryService(self.engine,
                                     max_dest_kernels=max_dest_kernels,
                                     max_finders=max_finders)
+        #: categories whose *file* sections went stale: an update
+        #: broadcast touched them while unmaterialised, so a later
+        #: fault-in must rebuild from the (updated) graph + labels
+        #: instead of attaching the pre-update mmap view
+        self._stale_cids: set = set()
 
     # ------------------------------------------------------------------
     def ensure_categories(self, categories) -> None:
@@ -111,10 +186,19 @@ class _ShardWorker:
             raise QueryError(
                 "this shard worker was built without labels "
                 "(build_labels=False); label-backend plans cannot be served")
+        index_file = engine._index_file
         for cid in categories:
             if cid in engine.inverted:
                 continue
-            if engine.backend == "packed":
+            if (index_file is not None and cid not in self._stale_cids
+                    and index_file.has_category(cid)):
+                # Cheap fault-in: attach the file's shared view instead
+                # of rebuilding — valid only while no update has touched
+                # the category since the file was written.
+                il = index_file.inverted_view(cid)
+                if engine._overlay_ratio is not None:
+                    il.overlay_ratio = engine._overlay_ratio
+            elif engine.backend == "packed":
                 il = build_packed_inverted_index(engine.graph, engine.labels,
                                                  cid)
                 if engine._overlay_ratio is not None:
@@ -131,20 +215,31 @@ class _ShardWorker:
         return self.service.run(query, options)
 
     def apply_update(self, op: str, v: int, cid: CategoryId) -> int:
-        """One broadcast category update; returns the new index epoch."""
+        """One broadcast category update; returns the new index epoch.
+
+        A category updated while *unmaterialised* is marked stale: its
+        index-file sections (if any) predate the update, so a later
+        fault-in must rebuild from the updated graph rather than attach
+        the shared view (materialised mmap views are swapped for private
+        mutable copies by the update layer itself).
+        """
         engine = self.engine
         if op == "add":
             if cid in engine.inverted:
                 _updates.add_vertex_to_category(
                     engine.graph, engine.labels, engine.inverted, v, cid)
-            elif not engine.graph.has_category(v, cid):
-                engine.graph.assign_category(v, cid)
+            else:
+                self._stale_cids.add(cid)
+                if not engine.graph.has_category(v, cid):
+                    engine.graph.assign_category(v, cid)
         elif op == "remove":
             if cid in engine.inverted:
                 _updates.remove_vertex_from_category(
                     engine.graph, engine.labels, engine.inverted, v, cid)
-            elif engine.graph.has_category(v, cid):
-                engine.graph.unassign_category(v, cid)
+            else:
+                self._stale_cids.add(cid)
+                if engine.graph.has_category(v, cid):
+                    engine.graph.unassign_category(v, cid)
         else:
             raise ValueError(f"unknown category update op {op!r}")
         return engine.index_epoch
@@ -156,6 +251,16 @@ class _ShardWorker:
             "owned_categories": list(self.owned),
             "materialized_categories": sorted(self.engine.inverted),
         }
+
+    def index_memory(self) -> dict:
+        """Engine index accounting plus this process's OS-level memory."""
+        payload = self.engine.index_memory()
+        payload.update({
+            "pid": os.getpid(),
+            "rss_bytes": proc_rss_bytes(),
+            "uss_bytes": proc_uss_bytes(),
+        })
+        return payload
 
 
 def _safe_exception(exc: BaseException) -> BaseException:
@@ -185,13 +290,13 @@ def _recv_watched(conn, parent_pid: int):
     """
     while True:
         if conn.poll(1.0):
-            return conn.recv()
+            return pipe_recv(conn)
         if os.getppid() != parent_pid:
             raise EOFError("parent process died")
 
 
 def worker_main(conn, graph, labels, owned, backend, overlay_ratio,
-                max_dest_kernels, max_finders) -> None:
+                max_dest_kernels, max_finders, index_path=None) -> None:
     """Entry point of one worker process: serve the pipe until shutdown.
 
     Messages are ``(kind, seq, *args)`` and every one is answered exactly
@@ -205,15 +310,15 @@ def worker_main(conn, graph, labels, owned, backend, overlay_ratio,
     parent_pid = os.getppid()
     try:
         worker = _ShardWorker(graph, labels, owned, backend, overlay_ratio,
-                              max_dest_kernels, max_finders)
+                              max_dest_kernels, max_finders, index_path)
     except BaseException as exc:  # startup failure: report, then exit
         try:
-            conn.send(("err", 0, _safe_exception(exc)))
+            pipe_send(conn, ("err", 0, _safe_exception(exc)))
         except (BrokenPipeError, OSError):
             pass
         return
     try:
-        conn.send(("ok", 0, worker.health()))
+        pipe_send(conn, ("ok", 0, worker.health()))
     except (BrokenPipeError, OSError):
         return  # parent died (or tore the fleet down) during our build
     while True:
@@ -224,7 +329,7 @@ def worker_main(conn, graph, labels, owned, backend, overlay_ratio,
         kind, seq = msg[0], msg[1]
         if kind == "shutdown":
             try:
-                conn.send(("ok", seq, "bye"))
+                pipe_send(conn, ("ok", seq, "bye"))
             except (BrokenPipeError, OSError):
                 pass
             return
@@ -242,11 +347,13 @@ def worker_main(conn, graph, labels, owned, backend, overlay_ratio,
                 reply = ("ok", seq, worker.health())
             elif kind == "stats":
                 reply = ("ok", seq, worker.service.session.stats.as_dict())
+            elif kind == "memory":
+                reply = ("ok", seq, worker.index_memory())
             else:
                 raise ValueError(f"unknown shard message kind {kind!r}")
         except Exception as exc:
             reply = ("err", seq, _safe_exception(exc))
         try:
-            conn.send(reply)
+            pipe_send(conn, reply)
         except (BrokenPipeError, OSError):
             return

@@ -450,3 +450,10 @@ class TestTcpServer:
         assert "dest_kernel_evictions" in stats["cache"]
         assert "cursor_evictions" in stats["cache"]
         assert stats["hit_rates"]["finder"] > 0.0
+        # Resident-vs-serialized index footprint rides along in the same
+        # reply (built in-process, so not an mmap-shared attachment).
+        memory = stats["index_memory"]
+        assert memory["backend"] == "packed"
+        assert memory["shared"] is False
+        assert memory["total_resident"] > 0
+        assert memory["total_serialized"] > 0

@@ -42,10 +42,25 @@ def _graph(seed: int, n: int = 40, cats: int = 4, size: int = 7):
     return g
 
 
-@pytest.fixture(scope="module", params=[11, 23, 57])
-def engines(request):
-    g = _graph(request.param)
+@pytest.fixture(scope="module",
+                params=[(11, "build"), (23, "build"), (57, "build"),
+                        (11, "mmap"), (57, "mmap")],
+                ids=lambda p: f"seed{p[0]}-{p[1]}")
+def engines(request, tmp_path_factory):
+    """(graph, packed-family engine, object engine) pairs.
+
+    The ``mmap`` variants run the whole suite against an engine attached
+    read-only to a saved index file, so every parity assertion (results
+    AND counters, bit-identical) also pins the zero-copy path to the
+    object reference.
+    """
+    seed, mode = request.param
+    g = _graph(seed)
     packed = KOSREngine.build(g, backend="packed")
+    if mode == "mmap":
+        path = tmp_path_factory.mktemp("idx") / f"parity_{seed}.rpli"
+        packed.save_index(path)
+        packed = KOSREngine.from_index_file(g, path)
     obj = KOSREngine.build(g, backend="object")
     return g, packed, obj
 

@@ -403,6 +403,69 @@ class TestPreprocessAndIndexedQuery:
             ])
 
 
+class TestIndexBuildAndMmapQuery:
+    def test_index_build_writes_single_file(self, fig1_file, tmp_path,
+                                            capsys):
+        out = tmp_path / "fig1.rpli"
+        assert main(["index", "build", "--graph", fig1_file,
+                     "--out", str(out)]) == 0
+        assert out.exists()
+        assert "inverted categories" in capsys.readouterr().out
+
+    def test_query_with_mmap_index(self, fig1_file, tmp_path, capsys):
+        out = tmp_path / "fig1.rpli"
+        main(["index", "build", "--graph", fig1_file, "--out", str(out)])
+        capsys.readouterr()
+        code = main([
+            "query", "--graph", fig1_file, "--mmap-index", str(out),
+            "--source", str(vertex("s")), "--target", str(vertex("t")),
+            "--categories", "MA,RE,CI", "--k", "3",
+        ])
+        assert code == 0
+        assert "cost 20" in capsys.readouterr().out
+
+    def test_labels_only_index_rebuilds_inverted(self, fig1_file, tmp_path,
+                                                 capsys):
+        out = tmp_path / "labels.rpli"
+        main(["index", "build", "--graph", fig1_file, "--out", str(out),
+              "--no-inverted"])
+        capsys.readouterr()
+        code = main([
+            "query", "--graph", fig1_file, "--mmap-index", str(out),
+            "--source", str(vertex("s")), "--target", str(vertex("t")),
+            "--categories", "MA,RE,CI", "--k", "3",
+        ])
+        assert code == 0
+        assert "cost 20" in capsys.readouterr().out
+
+    def test_mmap_index_rejects_object_backend(self, fig1_file, tmp_path):
+        out = tmp_path / "fig1.rpli"
+        main(["index", "build", "--graph", fig1_file, "--out", str(out)])
+        with pytest.raises(SystemExit):
+            main([
+                "query", "--graph", fig1_file, "--mmap-index", str(out),
+                "--backend", "object",
+                "--source", "0", "--target", "1", "--categories", "MA",
+            ])
+
+    def test_sharded_batch_with_mmap_index(self, fig1_file, tmp_path,
+                                           capsys):
+        out = tmp_path / "fig1.rpli"
+        main(["index", "build", "--graph", fig1_file, "--out", str(out)])
+        wl = tmp_path / "wl.json"
+        wl.write_text(json.dumps([
+            {"source": vertex("s"), "target": vertex("t"),
+             "categories": ["MA", "RE", "CI"], "k": 2},
+        ]))
+        capsys.readouterr()
+        code = main(["batch", "--graph", fig1_file,
+                     "--mmap-index", str(out), "--workload", str(wl),
+                     "--shards", "2", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["queries"][0]["costs"][0] == pytest.approx(20.0)
+
+
 class TestFigureCommand:
     def test_small_figure(self, capsys, monkeypatch):
         from repro.experiments import datasets as ds

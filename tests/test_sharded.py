@@ -586,6 +586,13 @@ class TestShardedTCP:
         assert "finder_misses" in stats["stats"]["cache"]
         assert set(stats["stats"]["hit_rates"]) == \
             {"finder", "dest_kernel", "ch", "disk_view"}
+        # Index footprint arrives per worker over the pipes.
+        memory = stats["stats"]["index_memory"]
+        assert memory["num_shards"] == sharded.num_shards
+        assert len(memory["shards"]) == sharded.num_shards
+        for shard in memory["shards"]:
+            assert shard["total_resident"] > 0
+            assert "rss_bytes" in shard and "uss_bytes" in shard
 
 
 class TestShardedCLI:

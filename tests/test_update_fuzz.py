@@ -113,6 +113,30 @@ def test_fuzz_packed_overlay_differential(seed):
     assert counts.get("edge", 0) > 0
 
 
+@pytest.mark.parametrize("seed", (101, 404))
+def test_fuzz_mmap_attached_engine_differential(seed, tmp_path):
+    """The mmap-attached engine absorbs the same fuzz interleaving.
+
+    The engine starts as read-only views over a saved index file;
+    category updates force per-category materialization (copy-on-write
+    at the category granularity), edge updates rebuild.  Every step is
+    still checked bit-identically against a fresh object build plus the
+    brute-force oracle.
+    """
+    g = _make_graph(seed)
+    builder = KOSREngine.build(g, backend="packed")
+    path = tmp_path / "fuzz.rpli"
+    builder.save_index(path)
+    attached = KOSREngine.from_index_file(g, path)
+    rng = random.Random(seed * 13 + 5)
+    counts = {}
+    for _ in range(20):
+        kind = _random_mutation(g, attached, rng)
+        counts[kind] = counts.get(kind, 0) + 1
+        _differential_check(g, attached, rng)
+    assert counts.get("add", 0) > 0 or counts.get("remove", 0) > 0
+
+
 def test_fuzz_step_budget_meets_acceptance():
     """The suite performs >= 200 randomized steps across >= 5 seeds."""
     assert len(SEEDS) >= 5
