@@ -14,7 +14,11 @@ Public API tour:
 * serving layers (see ``docs/serving.md``): :class:`QueryService`
   (warm batches), :class:`AsyncQueryService` (coalescing asyncio front
   door + TCP face), :class:`ShardedQueryService` (category-partitioned
-  worker processes) — all bit-identical to cold single-query runs.
+  worker processes) — all bit-identical to cold single-query runs;
+* :mod:`repro.obs` — the dependency-free metrics registry
+  (:data:`~repro.obs.REGISTRY`) every serving layer instruments into;
+  disabled by default, fleet-mergeable snapshots when on (see
+  ``docs/observability.md``).
 """
 
 from repro.types import (
@@ -27,6 +31,7 @@ from repro.types import (
 )
 from repro.exceptions import (
     BudgetExceededError,
+    DeadlineExceededError,
     EmptyCategoryError,
     GraphError,
     IndexBuildError,
@@ -61,6 +66,7 @@ from repro.core import (
 )
 from repro.core.query import make_query
 from repro.api import QueryOptions, QueryRequest
+from repro.obs import MetricsRegistry, REGISTRY, merge_snapshots
 from repro.service import BatchResult, QueryService
 from repro.server import AsyncQueryService
 from repro.shard import ShardedQueryService
@@ -75,6 +81,7 @@ __all__ = [
     "Vertex",
     "Witness",
     "BudgetExceededError",
+    "DeadlineExceededError",
     "EmptyCategoryError",
     "GraphError",
     "IndexBuildError",
@@ -107,6 +114,9 @@ __all__ = [
     "make_query",
     "AsyncQueryService",
     "BatchResult",
+    "MetricsRegistry",
+    "REGISTRY",
+    "merge_snapshots",
     "QueryOptions",
     "QueryRequest",
     "QueryService",

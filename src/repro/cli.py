@@ -11,6 +11,7 @@ Subcommands::
     python -m repro.cli batch       --graph graph.json --workload wl.json
     python -m repro.cli async-batch --graph graph.json --workload wl.json
     python -m repro.cli serve       --graph graph.json --port 8765
+    python -m repro.cli metrics     --port 8765
     python -m repro.cli figure      --name fig3a [--scale 0.2] [--queries 3]
 
 ``generate`` writes a dataset analogue; ``preprocess`` builds the 2-hop
@@ -20,7 +21,10 @@ index when ``--index`` is given (``--repeat N`` re-runs it through the
 warm session cache and reports cold- vs warm-cache latency); ``batch``
 executes a JSON workload through the query service's grouped batch path;
 ``async-batch`` drives the same workload through the asyncio front door
-(coalescing + backpressure); ``serve`` runs the JSON-lines TCP server;
+(coalescing + backpressure); ``serve`` runs the JSON-lines TCP server
+(``--metrics`` turns on the observability registry — see
+``docs/observability.md``); ``metrics`` probes a running server with
+``{"metrics": true}`` and pretty-prints the fleet-merged snapshot;
 ``figure`` regenerates one of the paper's tables/figures.
 
 ``batch``, ``async-batch``, and ``serve`` all accept ``--shards N`` to
@@ -214,6 +218,18 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--shards", type=int, default=None, metavar="N",
                      help="serve from N category-partitioned worker "
                           "processes instead of the in-process engine")
+    srv.add_argument("--metrics", action="store_true",
+                     help="enable the observability registry (counters, "
+                          "gauges, latency histograms) in this process and "
+                          "every shard worker; probe with `cli metrics` or "
+                          'a {"metrics": true} request')
+
+    met = sub.add_parser(
+        "metrics", help="probe a running server's metrics snapshot")
+    met.add_argument("--host", default="127.0.0.1")
+    met.add_argument("--port", type=int, default=8765)
+    met.add_argument("--json", action="store_true", dest="as_json",
+                     help="print the raw snapshot JSON instead of text")
 
     fig = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig.add_argument("--name", required=True, choices=sorted(FIGURES))
@@ -699,6 +715,12 @@ def cmd_serve(args) -> int:
 
     from repro.server.tcp import serve as tcp_serve
 
+    if args.metrics:
+        # Enable before building anything so the sharded fleet spawns
+        # its workers with metrics on (the flag travels to each worker).
+        from repro.obs.metrics import REGISTRY
+
+        REGISTRY.enable()
     if _sharding_requested(args):
         if args.method == "SK-DB":
             raise SystemExit("SK-DB is not supported with --shards "
@@ -716,10 +738,15 @@ def cmd_serve(args) -> int:
             max_inflight=args.max_inflight, max_queue=args.max_queue,
             max_groups=args.max_groups, service=sharded)
         addr = server.sockets[0].getsockname()
-        shards_note = f", shards={args.shards}" if sharded is not None else ""
+        shards_note = (f"shards={args.shards}" if sharded is not None
+                       else "shards=off")
+        mmap_note = "on" if getattr(args, "mmap_index", None) else "off"
+        metrics_note = "on" if args.metrics else "off"
         print(f"serving KOSR queries on {addr[0]}:{addr[1]} "
-              f"(method={args.method}, max_inflight={args.max_inflight}, "
-              f"max_queue={args.max_queue}{shards_note})")
+              f"({shards_note}, backend={args.backend}, mmap={mmap_note}, "
+              f"metrics={metrics_note}, method={args.method}, "
+              f"max_inflight={args.max_inflight}, "
+              f"max_queue={args.max_queue})")
         try:
             async with server:
                 await server.serve_forever()
@@ -755,6 +782,64 @@ def cmd_serve(args) -> int:
     finally:
         if sharded is not None:
             sharded.close()
+    return 0
+
+
+def _format_metric_line(metric: dict) -> str:
+    """One human-readable line per instrument (``cli metrics``)."""
+    labels = metric.get("labels") or {}
+    label_str = ("{" + ", ".join(f"{k}={v}" for k, v
+                                 in sorted(labels.items())) + "}"
+                 if labels else "")
+    name = f"{metric['name']}{label_str}"
+    if metric["type"] == "histogram":
+        from repro.obs.metrics import quantile_from_buckets
+
+        count = metric["count"]
+        mean = metric["sum"] / count if count else 0.0
+        p50 = quantile_from_buckets(metric["bounds"], metric["counts"], 0.5)
+        p99 = quantile_from_buckets(metric["bounds"], metric["counts"], 0.99)
+
+        def fmt(v: float) -> str:
+            return "inf" if v == float("inf") else f"{v * 1000:.2f}ms"
+
+        return (f"{name}  count={count} mean={fmt(mean)} "
+                f"p50<={fmt(p50)} p99<={fmt(p99)}")
+    return f"{name}  {metric['value']:g}"
+
+
+def cmd_metrics(args) -> int:
+    """Probe a running server's ``{"metrics": true}`` endpoint."""
+    import socket
+
+    try:
+        with socket.create_connection((args.host, args.port),
+                                      timeout=10.0) as sock:
+            sock.sendall(b'{"metrics": true}\n')
+            reply = b""
+            while not reply.endswith(b"\n"):
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                reply += chunk
+    except OSError as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    payload = json.loads(reply)
+    snapshot = payload.get("metrics")
+    if snapshot is None:
+        print(f"error: unexpected reply: {payload}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(json.dumps(snapshot, indent=2))
+        return 0
+    if not snapshot.get("enabled"):
+        print("metrics registry is disabled on the server "
+              "(start it with `serve --metrics`)")
+        return 2
+    for metric in snapshot.get("metrics", ()):
+        print(_format_metric_line(metric))
     return 0
 
 
@@ -795,6 +880,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "batch": cmd_batch,
         "async-batch": cmd_async_batch,
         "serve": cmd_serve,
+        "metrics": cmd_metrics,
         "figure": cmd_figure,
     }
     return handlers[args.command](args)

@@ -26,10 +26,12 @@ def kpne(
     stats: Optional[QueryStats] = None,
     budget: Optional[int] = None,
     deadline: Optional[float] = None,
+    on_result=None,
 ) -> List[SequencedResult]:
     """Run KPNE; returns up to ``query.k`` results ordered by cost."""
     stats = stats if stats is not None else QueryStats(method="KPNE")
     runtime = QueryRuntime(query, finder, stats, estimated=False)
     return sequenced_route_search(
-        runtime, use_dominance=False, estimated=False, budget=budget, deadline=deadline
+        runtime, use_dominance=False, estimated=False, budget=budget,
+        deadline=deadline, on_result=on_result
     )

@@ -28,10 +28,12 @@ def pruning_kosr(
     budget: Optional[int] = None,
     deadline: Optional[float] = None,
     sources: Optional[List[Tuple[Vertex, Cost]]] = None,
+    on_result=None,
 ) -> List[SequencedResult]:
     """Run PruningKOSR; returns up to ``query.k`` results ordered by cost."""
     stats = stats if stats is not None else QueryStats(method="PK")
     runtime = QueryRuntime(query, finder, stats, estimated=False)
     return sequenced_route_search(
-        runtime, use_dominance=True, estimated=False, budget=budget, sources=sources, deadline=deadline
+        runtime, use_dominance=True, estimated=False, budget=budget,
+        sources=sources, deadline=deadline, on_result=on_result
     )

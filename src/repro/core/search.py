@@ -31,7 +31,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from time import perf_counter
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.dominance import DominanceTables
 from repro.core.runtime import QueryRuntime
@@ -51,6 +51,7 @@ def sequenced_route_search(
     sources: Optional[List[Tuple[Vertex, Cost]]] = None,
     deadline: Optional[float] = None,
     trace: Optional[List[Tuple[Tuple[Vertex, ...], Cost]]] = None,
+    on_result: Optional[Callable[[SequencedResult], None]] = None,
 ) -> List[SequencedResult]:
     """Run the sequenced-route search; returns up to ``query.k`` results.
 
@@ -61,6 +62,13 @@ def sequenced_route_search(
     absolute :func:`time.perf_counter` instant) passes, the search stops
     with ``runtime.stats.completed = False`` (the paper's INF outcome —
     queries that do not finish within 3,600 seconds).
+
+    ``on_result`` is the anytime seam: the search is top-k optimal, so
+    the i-th route is final the moment it is appended — the callback
+    fires right then, before the (i+1)-th is searched for.  It receives
+    exactly the :class:`SequencedResult` objects that end up in the
+    returned list, in order, and must not mutate them (streaming
+    consumers hold references to live results).
     """
     stats = runtime.stats
     profile = stats.profile
@@ -142,6 +150,8 @@ def sequenced_route_search(
         if level == num_levels:
             # Complete feasible witness (lines 6-12).
             results.append(SequencedResult(Witness(vertices, cost)))
+            if on_result is not None:
+                on_result(results[-1])
             if use_dominance:
                 for entry in tables.release_for_result(vertices):
                     r_key, _, r_vertices, r_cost, _, r_prefix = entry

@@ -28,14 +28,18 @@ def star_kosr(
     budget: Optional[int] = None,
     deadline: Optional[float] = None,
     use_dominance: bool = True,
+    on_result=None,
 ) -> List[SequencedResult]:
     """Run StarKOSR; returns up to ``query.k`` results ordered by cost.
 
     ``use_dominance=False`` gives the heuristic-only ablation (A* ordering
-    without the dominance tables).
+    without the dominance tables).  ``on_result`` streams each route the
+    moment it is final (the anytime seam — see
+    :func:`~repro.core.search.sequenced_route_search`).
     """
     stats = stats if stats is not None else QueryStats(method="SK")
     runtime = QueryRuntime(query, finder, stats, estimated=True)
     return sequenced_route_search(
-        runtime, use_dominance=use_dominance, estimated=True, budget=budget, deadline=deadline
+        runtime, use_dominance=use_dominance, estimated=True, budget=budget,
+        deadline=deadline, on_result=on_result
     )

@@ -75,6 +75,25 @@ class ServiceOverloadedError(ReproError):
         return (type(self), (self.pending, self.max_queue))
 
 
+class DeadlineExceededError(ReproError):
+    """A request's client deadline passed before a complete answer.
+
+    Raised by the async serving front-end when a request carrying a
+    ``deadline_ms`` is still queued (or still incomplete) once the
+    deadline expires.  The TCP server maps this to a structured
+    ``{"error": "deadline_exceeded"}`` reply instead of a silent slow
+    answer.
+    """
+
+    def __init__(self, deadline_ms: float):
+        super().__init__(
+            f"deadline of {deadline_ms:.0f} ms exceeded before completion")
+        self.deadline_ms = deadline_ms
+
+    def __reduce__(self):
+        return (type(self), (self.deadline_ms,))
+
+
 class ShardError(ReproError):
     """A shard worker process failed, died, or timed out.
 

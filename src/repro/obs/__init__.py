@@ -1,0 +1,33 @@
+"""Observability: the metrics registry and instrumentation contract.
+
+Layer contract: ``repro.obs`` depends on nothing else in the library —
+every other layer (core executor, service cache, async front door,
+shard router/workers, TCP server) imports *it*, records into the
+process-wide :data:`REGISTRY` behind ``if REGISTRY.enabled:`` guards,
+and stays bit-identical in answers and ``QueryStats`` whether metrics
+are on or off.
+
+See ``docs/observability.md`` for the metric catalogue.
+"""
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    merge_snapshots,
+    quantile_from_buckets,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "merge_snapshots",
+    "quantile_from_buckets",
+]

@@ -6,8 +6,9 @@
   admission (backpressure via
   :class:`~repro.exceptions.ServiceOverloadedError`);
 * :mod:`repro.server.tcp` — a JSON-lines TCP front door
-  (``repro.cli serve``), including the ``{"stats": true}`` operator
-  inspection request.
+  (``repro.cli serve``): streamed responses (``"stream": true``),
+  per-request deadlines (``"deadline_ms"``), and the
+  ``{"stats": true}`` / ``{"metrics": true}`` operator probes.
 
 Layer contract
 --------------

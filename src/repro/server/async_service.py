@@ -21,7 +21,21 @@ door for concurrent request traffic (the ROADMAP's async-serving item):
   requests may be pending (admitted, not yet answered).  Past that,
   :meth:`submit` raises
   :class:`~repro.exceptions.ServiceOverloadedError` so callers shed load
-  instead of growing an unbounded queue.
+  instead of growing an unbounded queue.  Under partial overload —
+  pending at or past ``expensive_fraction * max_queue`` — admission
+  consults the request's *resolved plan* and sheds the expensive class
+  first (finder-free GSP full-graph searches, and sharded requests whose
+  categories span shards), keeping headroom for cheap indexed queries.
+* **Deadlines** — a request submitted with ``deadline_s`` is shed with
+  :class:`~repro.exceptions.DeadlineExceededError` if it is still queued
+  when the deadline passes, its execution time budget is capped to the
+  time remaining at dispatch, and an answer left incomplete at an
+  expired deadline is converted to the same error rather than returned
+  as a silent partial result.
+* **Streaming** — :meth:`submit_stream` runs the same admission and
+  group machinery but hands each discovered route to a callback the
+  moment the anytime search finalises it (the ``{"stream": true}`` TCP
+  seam).
 * **Sharded backing** — construct over a
   :class:`~repro.shard.service.ShardedQueryService` and the same thread
   pool dispatches to category-partitioned worker *processes* instead of
@@ -47,12 +61,14 @@ from __future__ import annotations
 
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
+from time import monotonic
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api import DEFAULT_OPTIONS, QueryOptions, QueryRequest
 from repro.core.query import KOSRQuery
-from repro.exceptions import ServiceOverloadedError
-from repro.service.cache import SessionCache
+from repro.exceptions import DeadlineExceededError, ServiceOverloadedError
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.service.cache import CACHE_POPULATIONS, SessionCache
 from repro.service.service import QueryService
 
 
@@ -60,7 +76,8 @@ class ServingStats:
     """Front-door counters: admission, coalescing, and execution."""
 
     __slots__ = ("submitted", "coalesced", "rejected", "executed",
-                 "overlay_folds", "groups_retired")
+                 "overlay_folds", "groups_retired", "streamed",
+                 "deadline_shed", "expensive_shed")
 
     def __init__(self) -> None:
         for name in self.__slots__:
@@ -90,7 +107,8 @@ class AsyncQueryService:
 
     def __init__(self, service, *, max_inflight: int = 4,
                  max_queue: Optional[int] = None,
-                 max_groups: Optional[int] = None, coalesce: bool = True):
+                 max_groups: Optional[int] = None, coalesce: bool = True,
+                 expensive_fraction: float = 0.5):
         from repro.shard.service import ShardedQueryService
 
         if not isinstance(service, (QueryService, ShardedQueryService)):
@@ -101,11 +119,17 @@ class AsyncQueryService:
             raise ValueError("max_queue must be >= 1 (or None)")
         if max_groups is not None and max_groups < 1:
             raise ValueError("max_groups must be >= 1 (or None)")
+        if not 0.0 < expensive_fraction <= 1.0:
+            raise ValueError("expensive_fraction must be in (0, 1]")
         self.service = service
         self.max_inflight = max_inflight
         self.max_queue = max_queue
         self.max_groups = max_groups
         self.coalesce = coalesce
+        #: pending level at which expensive plans start being shed
+        self._expensive_watermark = (
+            None if max_queue is None
+            else max(1, int(max_queue * expensive_fraction)))
         self.stats = ServingStats()
         self._pool = ThreadPoolExecutor(max_workers=max_inflight,
                                         thread_name_prefix="repro-serve")
@@ -169,7 +193,8 @@ class AsyncQueryService:
                             options if options is not None else DEFAULT_OPTIONS)
 
     async def submit(self, request: Union[QueryRequest, KOSRQuery],
-                     options: Optional[QueryOptions] = None):
+                     options: Optional[QueryOptions] = None, *,
+                     deadline_s: Optional[float] = None):
         """Answer one request; returns a ``KOSRResult``.
 
         Accepts a :class:`~repro.api.QueryRequest` or a bare
@@ -177,35 +202,150 @@ class AsyncQueryService:
         requests coalesce onto one execution (all callers receive the
         same result object).  Raises
         :class:`~repro.exceptions.ServiceOverloadedError` when the
-        admission queue is full, and re-raises whatever the plan
-        execution raised (``QueryError``, ``BudgetExceededError``, ...)
-        for every coalesced waiter.
+        admission queue is full (or past the expensive-plan watermark for
+        the shed-first class), :class:`DeadlineExceededError` when
+        ``deadline_s`` (seconds from now) expires before a complete
+        answer, and re-raises whatever the plan execution raised
+        (``QueryError``, ``BudgetExceededError``, ...) for every
+        coalesced waiter.  Deadline-carrying requests never coalesce:
+        sharing an execution would share the *other* caller's time
+        limits.
         """
         if self._closed:
             raise RuntimeError("AsyncQueryService is closed")
         request = self._coerce(request, options)
         self.stats.submitted += 1
+        metrics = _METRICS
+        if metrics.enabled:
+            metrics.counter("repro_serving_submitted_total").inc()
         key = request.key
-        if self.coalesce:
+        if self.coalesce and deadline_s is None:
             inflight = self._inflight.get(key)
             if inflight is not None:
                 self.stats.coalesced += 1
+                if metrics.enabled:
+                    metrics.counter("repro_serving_coalesced_total").inc()
                 # shield: one waiter's cancellation must not cancel the
                 # shared execution out from under the others.
                 return await asyncio.shield(inflight)
-        if self.max_queue is not None and self._pending >= self.max_queue:
-            self.stats.rejected += 1
-            raise ServiceOverloadedError(self._pending, self.max_queue)
+        deadline = self._deadline_from(deadline_s)
+        self._admit(request)
         future = asyncio.get_running_loop().create_future()
-        if self.coalesce:
+        if self.coalesce and deadline is None:
             self._inflight[key] = future
+        else:
+            key = None  # not registered for coalescing
+        self._enqueue(request, key, future, on_route=None, deadline=deadline)
+        return await asyncio.shield(future)
+
+    async def submit_stream(self, request: Union[QueryRequest, KOSRQuery],
+                            on_route, options: Optional[QueryOptions] = None,
+                            *, deadline_s: Optional[float] = None):
+        """Answer one request, streaming each route as it is discovered.
+
+        Identical admission/backpressure behaviour to :meth:`submit`, but
+        ``on_route`` fires with every :class:`~repro.types.SequencedResult`
+        the moment the anytime search finalises it — before the search for
+        the next one begins.  The callback runs on the *executing pool
+        thread*; marshal to the event loop (e.g.
+        ``loop.call_soon_threadsafe``) before touching loop-owned state.
+        Streaming requests never coalesce — each caller needs its own
+        route feed — and still return the complete ``KOSRResult``.
+        """
+        if self._closed:
+            raise RuntimeError("AsyncQueryService is closed")
+        request = self._coerce(request, options)
+        self.stats.submitted += 1
+        self.stats.streamed += 1
+        metrics = _METRICS
+        if metrics.enabled:
+            metrics.counter("repro_serving_submitted_total").inc()
+            metrics.counter("repro_serving_streamed_total").inc()
+        deadline = self._deadline_from(deadline_s)
+        self._admit(request)
+        future = asyncio.get_running_loop().create_future()
+        self._enqueue(request, None, future, on_route=on_route,
+                      deadline=deadline)
+        return await asyncio.shield(future)
+
+    def _enqueue(self, request: QueryRequest, key, future, *, on_route,
+                 deadline) -> None:
         group_key = request.group_key
         self._pending += 1
         self._no_pending.clear()
         self._group_load[group_key] = self._group_load.get(group_key, 0) + 1
-        self._group_queue(group_key).put_nowait((request, key, group_key,
-                                                 future))
-        return await asyncio.shield(future)
+        self._group_queue(group_key).put_nowait(
+            (request, key, group_key, future, on_route, deadline))
+
+    def _deadline_from(self, deadline_s: Optional[float]):
+        """``(absolute monotonic deadline, requested ms)`` or ``None``;
+        a deadline already in the past sheds immediately."""
+        if deadline_s is None:
+            return None
+        deadline_ms = float(deadline_s) * 1000.0
+        if deadline_s <= 0:
+            self._count_deadline_shed()
+            raise DeadlineExceededError(deadline_ms)
+        return (monotonic() + deadline_s, deadline_ms)
+
+    def _count_deadline_shed(self) -> None:
+        self.stats.deadline_shed += 1
+        metrics = _METRICS
+        if metrics.enabled:
+            metrics.counter("repro_serving_deadline_shed_total").inc()
+
+    def _admit(self, request: QueryRequest) -> None:
+        """Bounded admission; sheds the expensive plan class first.
+
+        Past ``max_queue`` everything is rejected.  Past the expensive
+        watermark (``expensive_fraction * max_queue``), requests whose
+        resolved plan declares no finder (the GSP family's full-graph
+        searches) — or whose categories span multiple shards behind a
+        sharded backend — are rejected while cheap indexed queries keep
+        being admitted.
+        """
+        if self.max_queue is None:
+            return
+        metrics = _METRICS
+        if self._pending >= self.max_queue:
+            self.stats.rejected += 1
+            if metrics.enabled:
+                metrics.counter("repro_serving_rejected_total").inc()
+            raise ServiceOverloadedError(self._pending, self.max_queue)
+        if (self._pending >= self._expensive_watermark
+                and self._is_expensive(request)):
+            self.stats.rejected += 1
+            self.stats.expensive_shed += 1
+            if metrics.enabled:
+                metrics.counter("repro_serving_rejected_total").inc()
+                metrics.counter("repro_serving_expensive_shed_total").inc()
+            raise ServiceOverloadedError(self._pending, self.max_queue)
+
+    def _is_expensive(self, request: QueryRequest) -> bool:
+        """Whether this request belongs to the shed-first class.
+
+        Consults the same declared needs the plan-aware router uses:
+        a plan with ``needs_finder=False`` searches the whole graph
+        (GSP / GSP-CH) instead of walking indexed category streams, and a
+        sharded request spanning several owners pays fan-out plus a
+        cross-shard merge.  Resolution failures are treated as cheap —
+        the executor will raise the real error to the caller.
+        """
+        options = request.options
+        try:
+            plan = self.service.plan(options.method, options.nn_backend)
+        except Exception:
+            return False
+        if not plan.spec.needs_finder:
+            return True
+        owners_for = getattr(self.service, "owners_for", None)
+        if owners_for is not None:
+            try:
+                if len(owners_for(request.query, options)) > 1:
+                    return True
+            except Exception:
+                return False
+        return False
 
     async def gather(self, requests: Sequence[Union[QueryRequest, KOSRQuery]],
                      options: Optional[QueryOptions] = None) -> List:
@@ -256,6 +396,38 @@ class AsyncQueryService:
 
         return hit_rates_from(self.cache_stats())
 
+    def metrics_snapshot(self) -> dict:
+        """One merged metrics snapshot for this front door.
+
+        Samples the point-in-time gauges (queue depth, executing count,
+        live groups, warm cache populations summed over group sessions)
+        into the process registry, then returns its snapshot — or, over a
+        sharded backend, the fleet-wide merge of every worker's registry
+        with this process's (the workers' warm state lives with them, so
+        their handlers sample their own gauges).  This is what the TCP
+        ``{"metrics": true}`` probe and ``cli metrics`` report.  With the
+        registry disabled the snapshot is empty and says so
+        (``{"enabled": false}``).
+        """
+        metrics = _METRICS
+        if metrics.enabled:
+            metrics.gauge("repro_serving_queue_depth").set(self._pending)
+            metrics.gauge("repro_serving_executing").set(self._executing)
+            metrics.gauge("repro_serving_groups").set(len(self._groups))
+            populations: Dict[str, int] = {}
+            for session in self.group_sessions().values():
+                if session is None:
+                    continue
+                for name, value in session.populations().items():
+                    populations[name] = populations.get(name, 0) + value
+            for name in CACHE_POPULATIONS:
+                metrics.gauge(f"repro_cache_{name}").set(
+                    populations.get(name, 0))
+        remote = getattr(self.service, "metrics_snapshot", None)
+        if callable(remote):
+            return remote()
+        return metrics.snapshot()
+
     def _group_queue(self, group_key: Tuple) -> asyncio.Queue:
         entry = self._groups.get(group_key)
         if entry is None:
@@ -304,16 +476,23 @@ class AsyncQueryService:
             item = await queue.get()
             if item is None:
                 return
-            request, key, group_key, future = item
+            request, key, group_key, future, on_route, deadline = item
             try:
+                if deadline is not None and monotonic() >= deadline[0]:
+                    # Expired while queued: shed without executing.
+                    self._count_deadline_shed()
+                    raise DeadlineExceededError(deadline[1])
                 async with self._sem:
                     await self._overlay_barrier()
                     self._executing += 1
                     self._idle.clear()
                     try:
                         result = await loop.run_in_executor(
-                            self._pool, self._execute, request, session)
+                            self._pool, self._run_blocking, request, session,
+                            on_route, deadline)
                     except Exception as exc:
+                        if isinstance(exc, DeadlineExceededError):
+                            self._count_deadline_shed()
                         if not future.done():
                             future.set_exception(exc)
                     else:
@@ -336,7 +515,7 @@ class AsyncQueryService:
                 self._pending -= 1
                 if self._pending == 0:
                     self._no_pending.set()
-                if self._inflight.get(key) is future:
+                if key is not None and self._inflight.get(key) is future:
                     del self._inflight[key]
                 load = self._group_load.get(group_key, 1) - 1
                 if load > 0:
@@ -344,6 +523,35 @@ class AsyncQueryService:
                 else:
                     self._group_load.pop(group_key, None)
                 queue.task_done()
+
+    def _run_blocking(self, request: QueryRequest, session: SessionCache,
+                      on_route, deadline):
+        """Pool-thread entry: deadline capping + streaming dispatch.
+
+        The execution time budget is capped to the deadline time
+        remaining at dispatch, and an incomplete answer at an expired
+        deadline becomes :class:`DeadlineExceededError` instead of a
+        silent partial result.  (Kept separate from :meth:`_execute` so
+        that tests gating plain execution keep their two-argument seam.)
+        """
+        if deadline is not None:
+            remaining = deadline[0] - monotonic()
+            if remaining <= 0:
+                raise DeadlineExceededError(deadline[1])
+            options = request.options
+            if options.time_budget_s is None or options.time_budget_s > remaining:
+                request = QueryRequest(request.query,
+                                       options.replace(time_budget_s=remaining))
+        if on_route is not None:
+            result = self.service.run_stream(request.query, request.options,
+                                             session=session,
+                                             on_route=on_route)
+        else:
+            result = self._execute(request, session)
+        if (deadline is not None and not result.stats.completed
+                and monotonic() >= deadline[0]):
+            raise DeadlineExceededError(deadline[1])
+        return result
 
     def _execute(self, request: QueryRequest, session: SessionCache):
         """Blocking plan execution (runs on the thread pool)."""

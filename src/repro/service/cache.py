@@ -248,6 +248,10 @@ class CacheStats:
         return hit_rates_from(self.as_dict())
 
 
+#: warm population names reported as gauges (see SessionCache.populations)
+CACHE_POPULATIONS = ("dest_kernels", "finder_cursors")
+
+
 class SessionCache:
     """Reusable per-engine query state, invalidated by index epoch.
 
@@ -289,6 +293,40 @@ class SessionCache:
             OrderedDict()
         self._ch = None
         self._disk: Optional[SharedDiskState] = None
+        #: counter values as of the last publish_metrics() call
+        self._metrics_published: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def populations(self) -> Dict[str, int]:
+        """Current warm-artefact population sizes (gauge material).
+
+        Unlike the monotonic :class:`CacheStats` counters these move both
+        ways — evictions and epoch invalidations shrink them — which is
+        what the observability layer samples as gauges over time.
+        """
+        cursors = None
+        if self._label_finder is not None:
+            cursors = getattr(self._label_finder, "_cursors", None)
+        return {
+            "dest_kernels": len(self._dest_kernels),
+            "finder_cursors": len(cursors) if cursors is not None else 0,
+        }
+
+    def publish_metrics(self, registry) -> None:
+        """Fold counter movement since the last publish into ``registry``.
+
+        Publishing deltas (rather than setting totals) makes the registry
+        counters correct across any number of sessions in the process —
+        each session contributes exactly its own movement — and keeps
+        fleet-wide merges additive.
+        """
+        current = self.stats.as_dict()
+        last = self._metrics_published
+        for name, value in current.items():
+            delta = value - last.get(name, 0)
+            if delta:
+                registry.counter(f"repro_cache_{name}_total").inc(delta)
+                last[name] = value
 
     # ------------------------------------------------------------------
     def validate(self) -> bool:

@@ -27,6 +27,7 @@ from repro.core.query import KOSRQuery
 from repro.core.stats import QueryStats
 from repro.exceptions import BudgetExceededError, QueryError
 from repro.nn.base import NearestNeighborFinder
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.service.cache import SessionCache
 from repro.service.planner import QueryPlan
 
@@ -103,6 +104,9 @@ class ExecutionContext:
     deadline: Optional[float]
     resources: object
     options: Optional[QueryOptions] = None
+    #: Streaming seam: invoked with each SequencedResult the moment the
+    #: anytime search finalises it (None for one-shot execution).
+    on_result: object = None
 
     @property
     def graph(self):
@@ -116,6 +120,7 @@ def execute_plan(
     options: Optional[QueryOptions] = None,
     *,
     resources=None,
+    on_result=None,
     **legacy_kwargs,
 ):
     """Execute ``plan`` over ``query``; returns a
@@ -126,6 +131,9 @@ def execute_plan(
     backend, so ``options.method`` / ``options.nn_backend`` are not
     re-consulted here.  ``resources`` defaults to :class:`ColdResources`
     (fresh per-query state — byte-identical to the pre-service engine).
+    ``on_result`` streams each route as the anytime search finalises it
+    (executors for all-at-end methods like GSP ignore it — the service
+    layer replays their results through the callback after the run).
     The pre-PR-4 keyword style (``budget=``, ``strict_budget=``, ...)
     still works through the deprecation shim.
     """
@@ -140,9 +148,24 @@ def execute_plan(
                 else t_start + options.time_budget_s)
     ctx = ExecutionContext(engine=engine, plan=plan, query=query, stats=stats,
                            budget=options.budget, deadline=deadline,
-                           resources=resources, options=options)
+                           resources=resources, options=options,
+                           on_result=on_result)
     results = plan.spec.runner(ctx)
     stats.total_time = time.perf_counter() - t_start
+    metrics = _METRICS
+    if metrics is not None and metrics.enabled:
+        # Post-hoc, outside the search loop: answers and QueryStats stay
+        # bit-identical whether this branch runs or not.
+        metrics.counter("repro_queries_total", method=plan.method).inc()
+        metrics.histogram("repro_query_latency_seconds",
+                          method=plan.method).observe(stats.total_time)
+        metrics.counter("repro_examined_routes_total",
+                        method=plan.method).inc(stats.examined_routes)
+        metrics.counter("repro_nn_queries_total",
+                        method=plan.method).inc(stats.nn_queries)
+        if not stats.completed:
+            metrics.counter("repro_queries_incomplete_total",
+                            method=plan.method).inc()
     if options.strict_budget and not stats.completed:
         raise BudgetExceededError(
             options.budget if options.budget is not None else -1)

@@ -20,32 +20,36 @@ from repro.service.planner import register_executor
 @register_executor("KPNE", needs_finder=True)
 def _run_kpne(ctx: ExecutionContext):
     finder = ctx.resources.finder(ctx.plan.nn_backend)
-    return kpne(ctx.query, finder, ctx.stats, ctx.budget, ctx.deadline)
+    return kpne(ctx.query, finder, ctx.stats, ctx.budget, ctx.deadline,
+                on_result=ctx.on_result)
 
 
 @register_executor("PK", needs_finder=True)
 def _run_pk(ctx: ExecutionContext):
     finder = ctx.resources.finder(ctx.plan.nn_backend)
-    return pruning_kosr(ctx.query, finder, ctx.stats, ctx.budget, ctx.deadline)
+    return pruning_kosr(ctx.query, finder, ctx.stats, ctx.budget, ctx.deadline,
+                        on_result=ctx.on_result)
 
 
 @register_executor("SK", needs_finder=True)
 def _run_sk(ctx: ExecutionContext):
     finder = ctx.resources.finder(ctx.plan.nn_backend)
-    return star_kosr(ctx.query, finder, ctx.stats, ctx.budget, ctx.deadline)
+    return star_kosr(ctx.query, finder, ctx.stats, ctx.budget, ctx.deadline,
+                     on_result=ctx.on_result)
 
 
 @register_executor("SK-NODOM", needs_finder=True)
 def _run_sk_nodom(ctx: ExecutionContext):
     finder = ctx.resources.finder(ctx.plan.nn_backend)
     return star_kosr(ctx.query, finder, ctx.stats, ctx.budget, ctx.deadline,
-                     use_dominance=False)
+                     use_dominance=False, on_result=ctx.on_result)
 
 
 @register_executor("SK-DB", needs_disk=True)
 def _run_sk_db(ctx: ExecutionContext):
     finder = ctx.resources.disk_finder(ctx.query, ctx.stats)
-    return star_kosr(ctx.query, finder, ctx.stats, ctx.budget, ctx.deadline)
+    return star_kosr(ctx.query, finder, ctx.stats, ctx.budget, ctx.deadline,
+                     on_result=ctx.on_result)
 
 
 @register_executor("GSP")

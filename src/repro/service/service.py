@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api import QueryOptions, merge_query_kwargs
 from repro.core.query import KOSRQuery
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.service.cache import SessionCache
 from repro.service.execution import WarmResources, execute_plan
 from repro.service.planner import QueryPlan, resolve_plan
@@ -123,10 +124,59 @@ class QueryService:
                                      "QueryService.run")
         session = session if session is not None else self.session
         session.validate()
-        return execute_plan(
+        result = execute_plan(
             self.engine, self.plan(options.method, options.nn_backend), q,
             options, resources=WarmResources(session),
         )
+        metrics = _METRICS
+        if metrics is not None and metrics.enabled:
+            session.publish_metrics(metrics)
+        return result
+
+    def run_stream(
+        self,
+        q: KOSRQuery,
+        options: Optional[QueryOptions] = None,
+        *,
+        session: Optional[SessionCache] = None,
+        on_route=None,
+        **legacy_kwargs,
+    ):
+        """Answer one query, streaming routes as the search finalises them.
+
+        Same contract as :meth:`run`, plus ``on_route``: for the anytime
+        methods (KPNE/PK/SK/SK-NODOM/SK-DB) it fires with each
+        :class:`~repro.types.SequencedResult` the moment the search proves
+        it final — before the next one is searched for.  All-at-end
+        methods (the GSP family) have no incremental seam; their results
+        are replayed through the callback once the run completes, so
+        callers always see exactly ``result.results`` in order.  Streamed
+        objects are the same objects as the returned result's; route
+        restoration (``options.restore_routes``) happens only after the
+        run, so in-flight records carry the witness and cost.
+        """
+        options = merge_query_kwargs(options, legacy_kwargs,
+                                     "QueryService.run_stream")
+        session = session if session is not None else self.session
+        session.validate()
+        emitted = 0
+        seam = None
+        if on_route is not None:
+            def seam(res):
+                nonlocal emitted
+                emitted += 1
+                on_route(res)
+        result = execute_plan(
+            self.engine, self.plan(options.method, options.nn_backend), q,
+            options, resources=WarmResources(session), on_result=seam,
+        )
+        metrics = _METRICS
+        if metrics is not None and metrics.enabled:
+            session.publish_metrics(metrics)
+        if on_route is not None:
+            for res in result.results[emitted:]:
+                on_route(res)
+        return result
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -48,7 +48,8 @@ from repro.api import DEFAULT_OPTIONS, QueryOptions, QueryRequest, \
     merge_query_kwargs
 from repro.core.query import KOSRQuery, make_query
 from repro.exceptions import QueryError, ShardError
-from repro.service.planner import resolve_plan
+from repro.obs.metrics import REGISTRY as _METRICS, merge_snapshots
+from repro.service.planner import QueryPlan, resolve_plan
 from repro.service.service import BatchResult, QueryService
 from repro.shard.router import CategoryShardRouter, merge_topk_results
 from repro.shard.worker import pipe_recv, pipe_send, worker_main
@@ -91,7 +92,8 @@ class ShardedQueryService:
                  start_method: Optional[str] = None,
                  build_labels: bool = True,
                  index_path=None,
-                 mmap_index: bool = False):
+                 mmap_index: bool = False,
+                 metrics: Optional[bool] = None):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.graph = graph
@@ -99,6 +101,14 @@ class ShardedQueryService:
         self.router = CategoryShardRouter(num_shards)
         self.timeout_s = timeout_s
         self._rr = itertools.count()
+        self._plans: Dict[tuple, QueryPlan] = {}
+        # Workers enable their own registries at spawn: the parent's
+        # enable state is captured here (or forced via ``metrics=``) and
+        # travels as an explicit worker_main argument, because under the
+        # spawn start method children re-import modules and would
+        # otherwise come up with metrics off regardless of the parent.
+        self._metrics_workers = (_METRICS.enabled if metrics is None
+                                 else bool(metrics))
         self._closed = False
         self._diverged: Optional[str] = None
         self._epoch = 0
@@ -188,7 +198,7 @@ class ShardedQueryService:
                 target=worker_main,
                 args=(child_conn, graph, worker_labels, owned, backend,
                       overlay_ratio, max_dest_kernels, max_finders,
-                      self.index_path),
+                      self.index_path, self._metrics_workers),
                 name=f"repro-shard-{shard}",
                 daemon=True,
             )
@@ -271,13 +281,16 @@ class ShardedQueryService:
     # Transport
     # ------------------------------------------------------------------
     def _recv(self, shard: int, seq: int,
-              timeout_s: Optional[float] = None):
+              timeout_s: Optional[float] = None, on_route=None):
         """Receive the reply to exchange ``seq``, discarding stale ones.
 
         A reply whose echoed sequence number is lower than ``seq``
         belongs to an exchange that already timed out — its caller got a
         :class:`ShardError` long ago, so it is dropped here rather than
-        desynchronizing the pipe and answering the wrong request.
+        desynchronizing the pipe and answering the wrong request (a dead
+        stream's leftover ``"route"`` frames are discarded the same way).
+        ``on_route`` consumes this exchange's interim ``"route"`` frames
+        (streamed queries); the final ``"ok"`` still ends the exchange.
         ``timeout_s`` overrides the service-wide request timeout (the
         startup handshake passes ``inf``: only worker death ends it).
         """
@@ -297,12 +310,20 @@ class ShardedQueryService:
                 raise ShardError(shard, f"worker pipe closed ({exc!r})")
             if reply_seq < seq:
                 continue  # stale reply from a timed-out exchange
+            if kind == "route":
+                if on_route is not None:
+                    on_route(payload)
+                continue
             if kind == "err":
                 raise payload
             return payload
 
-    def _dispatch(self, shard: int, msg: tuple):
+    def _dispatch(self, shard: int, msg: tuple, on_route=None):
         """One synchronous request/response exchange with a worker."""
+        metrics = _METRICS
+        timed = metrics.enabled
+        if timed:
+            t0 = time.perf_counter()
         with self._locks[shard]:
             if self._closed:
                 raise ShardError(shard, "service is closed")
@@ -312,7 +333,13 @@ class ShardedQueryService:
                 pipe_send(self._conns[shard], (msg[0], seq, *msg[1:]))
             except (BrokenPipeError, OSError) as exc:
                 raise ShardError(shard, f"worker pipe closed ({exc!r})")
-            return self._recv(shard, seq)
+            payload = self._recv(shard, seq, on_route=on_route)
+        if timed:
+            metrics.counter("repro_shard_requests_total",
+                            shard=shard).inc()
+            metrics.histogram("repro_shard_roundtrip_seconds",
+                              shard=shard).observe(time.perf_counter() - t0)
+        return payload
 
     # ------------------------------------------------------------------
     # Queries
@@ -321,6 +348,20 @@ class ShardedQueryService:
                    k: int = 1) -> KOSRQuery:
         """Build and validate a query against the (update-current) graph."""
         return make_query(self.graph, source, target, categories, k)
+
+    def plan(self, method: str, nn_backend: str = "label") -> QueryPlan:
+        """Resolve (and memoise) the plan for this fleet's backend.
+
+        :class:`QueryService` signature compatibility — the async front
+        door's plan-aware admission consults the resolved plan's declared
+        needs through this, exactly as :meth:`owners_for` does.
+        """
+        key = (method, nn_backend)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = resolve_plan(method, nn_backend, self.backend)
+            self._plans[key] = plan
+        return plan
 
     def owners_for(self, query: KOSRQuery,
                    options: QueryOptions) -> List[int]:
@@ -390,6 +431,10 @@ class ShardedQueryService:
         msg = ("query", query, opts)
         if len(owners) == 1:
             return self._dispatch(owners[0], msg)
+        metrics = _METRICS
+        if metrics.enabled:
+            metrics.counter("repro_shard_spanning_requests_total").inc()
+            metrics.counter("repro_shard_fanout_total").inc(len(owners))
         # Spanning request: fan out to every owning shard concurrently
         # (each executes the full deterministic search, as the tentpole
         # design specifies — the redundancy keeps every owner's warm
@@ -402,6 +447,41 @@ class ShardedQueryService:
         partials = [self._dispatch(owners[0], msg)]
         partials += [f.result() for f in futures]
         return merge_topk_results(query, partials)
+
+    def run_stream(self, request: Union[QueryRequest, KOSRQuery],
+                   options: Optional[QueryOptions] = None, *,
+                   session=None, on_route=None, **legacy_kwargs):
+        """Answer one request, streaming routes as the worker surfaces them.
+
+        Single-owner requests stream *live*: the worker emits one interim
+        pipe frame per discovered route ahead of its final reply, and
+        ``on_route`` fires (on the calling thread) as each frame arrives —
+        while the worker's search is still running.  Spanning requests
+        cannot know the merged top-k until every owner has answered, so
+        their routes replay through the callback after the merge.
+        ``session`` is accepted for :class:`QueryService` signature
+        compatibility and ignored.
+        """
+        if isinstance(request, QueryRequest):
+            query, opts = request.query, request.options
+            if options is not None or legacy_kwargs:
+                raise TypeError("pass options inside the QueryRequest")
+        else:
+            query = request
+            opts = merge_query_kwargs(options, legacy_kwargs,
+                                      "ShardedQueryService.run_stream")
+        owners = self.owners_for(query, opts)
+        if on_route is None:
+            return self._run_resolved(query, opts, owners)
+        if len(owners) > 1:
+            result = self._run_resolved(query, opts, owners)
+            for res in result.results:
+                on_route(res)
+            return result
+        if self._diverged is not None:
+            raise ShardError(-1, self._diverged)
+        return self._dispatch(owners[0], ("stream", query, opts),
+                              on_route=on_route)
 
     def run_batch(self, queries: Sequence[KOSRQuery],
                   options: Optional[QueryOptions] = None, *,
@@ -584,6 +664,19 @@ class ShardedQueryService:
         from repro.service.cache import hit_rates_from
 
         return hit_rates_from(self.cache_stats())
+
+    def metrics_snapshot(self) -> dict:
+        """Fleet-merged metrics: every worker's registry plus this one's.
+
+        Worker snapshots travel over the same sequence-stamped pipe
+        protocol as queries (the ``"metrics"`` kind) and merge by
+        element-wise addition: per-method latency histograms combine
+        fleet-wide (identical bucket bounds by construction), while the
+        router-side round-trip metrics keep their per-shard labels.
+        """
+        snapshots = [_METRICS.snapshot()]
+        snapshots.extend(self._broadcast(("metrics",)))
+        return merge_snapshots(snapshots)
 
     def index_memory(self) -> Dict[str, object]:
         """Per-worker and fleet-wide index memory accounting.

@@ -214,6 +214,24 @@ class _ShardWorker:
                 self.ensure_categories(query.categories)
         return self.service.run(query, options)
 
+    def run_stream(self, query: KOSRQuery, options: QueryOptions, on_route):
+        """Like :meth:`run_query`, streaming each route via ``on_route``
+        (the message loop turns those into interim pipe frames)."""
+        if options.nn_backend == "label":
+            plan = self.service.plan(options.method, options.nn_backend)
+            if plan.spec.needs_finder:
+                self.ensure_categories(query.categories)
+        return self.service.run_stream(query, options, on_route=on_route)
+
+    def metrics_snapshot(self) -> dict:
+        """This worker's registry snapshot, gauges freshly sampled."""
+        from repro.obs.metrics import REGISTRY
+
+        if REGISTRY.enabled:
+            for name, value in self.service.session.populations().items():
+                REGISTRY.gauge(f"repro_cache_{name}").set(value)
+        return REGISTRY.snapshot()
+
     def apply_update(self, op: str, v: int, cid: CategoryId) -> int:
         """One broadcast category update; returns the new index epoch.
 
@@ -296,18 +314,33 @@ def _recv_watched(conn, parent_pid: int):
 
 
 def worker_main(conn, graph, labels, owned, backend, overlay_ratio,
-                max_dest_kernels, max_finders, index_path=None) -> None:
+                max_dest_kernels, max_finders, index_path=None,
+                metrics_enabled: bool = False) -> None:
     """Entry point of one worker process: serve the pipe until shutdown.
 
     Messages are ``(kind, seq, *args)`` and every one is answered exactly
     once with ``("ok", seq, payload)`` or ``("err", seq, exception)``.
-    The echoed sequence number lets the parent discard a reply whose
-    exchange it already abandoned (request timeout), so a slow response
-    can never be mistaken for the answer to a *later* request.  Only
-    ``"shutdown"``, a closed pipe, a dead parent, or an interrupt ends
-    the loop — a failed query never kills the worker.
+    A ``"stream"`` query additionally sends zero or more interim
+    ``("route", seq, SequencedResult)`` frames *before* its final
+    ``("ok", ...)`` — the parent surfaces each one as it arrives, which
+    is how a streamed route reaches the client while the worker's search
+    is still running.  The echoed sequence number lets the parent discard
+    a reply whose exchange it already abandoned (request timeout), so a
+    slow response can never be mistaken for the answer to a *later*
+    request.  Only ``"shutdown"``, a closed pipe, a dead parent, or an
+    interrupt ends the loop — a failed query never kills the worker.
+
+    ``metrics_enabled`` turns this process's metrics registry on at
+    startup (the spawn-time hand-off of the parent's enable state — under
+    the spawn start method the child re-imports modules, so the flag must
+    travel explicitly); the ``"metrics"`` kind then answers with the
+    worker's snapshot for fleet-wide merging.
     """
     parent_pid = os.getppid()
+    if metrics_enabled:
+        from repro.obs.metrics import REGISTRY
+
+        REGISTRY.enable()
     try:
         worker = _ShardWorker(graph, labels, owned, backend, overlay_ratio,
                               max_dest_kernels, max_finders, index_path)
@@ -337,6 +370,16 @@ def worker_main(conn, graph, labels, owned, backend, overlay_ratio,
             if kind == "query":
                 query, options = msg[2:]
                 reply = ("ok", seq, worker.run_query(query, options))
+            elif kind == "stream":
+                query, options = msg[2:]
+
+                def _send_route(res, _seq=seq):
+                    pipe_send(conn, ("route", _seq, res))
+
+                reply = ("ok", seq, worker.run_stream(query, options,
+                                                      _send_route))
+            elif kind == "metrics":
+                reply = ("ok", seq, worker.metrics_snapshot())
             elif kind == "update":
                 op, v, cid = msg[2:]
                 reply = ("ok", seq, worker.apply_update(op, v, cid))

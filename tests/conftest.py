@@ -45,6 +45,14 @@ def make_categorized_graph(n: int, num_categories: int, category_size: int, seed
 # property-test search (used for occasional deep runs, not CI).
 import os
 
+# REPRO_METRICS=1 runs the whole suite (CI: the parity + fuzz files)
+# with the observability registry enabled, pinning that instrumentation
+# never changes an answer or a QueryStats counter.
+if os.environ.get("REPRO_METRICS"):
+    from repro.obs.metrics import REGISTRY as _obs_registry
+
+    _obs_registry.enable()
+
 from hypothesis import settings as _hyp_settings
 
 _hyp_settings.register_profile("thorough", max_examples=200, deadline=None)
