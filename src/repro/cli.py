@@ -230,6 +230,10 @@ def build_parser() -> argparse.ArgumentParser:
     met.add_argument("--port", type=int, default=8765)
     met.add_argument("--json", action="store_true", dest="as_json",
                      help="print the raw snapshot JSON instead of text")
+    met.add_argument("--stats", action="store_true",
+                     help='probe {"stats": true} instead: serving/cache '
+                          "counters plus the index epoch and per-category "
+                          "version counters (works without --metrics)")
 
     fig = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig.add_argument("--name", required=True, choices=sorted(FIGURES))
@@ -808,14 +812,40 @@ def _format_metric_line(metric: dict) -> str:
     return f"{name}  {metric['value']:g}"
 
 
+def _format_epochs(epochs: dict) -> str:
+    """Human-readable lines for the stats probe's epochs section."""
+    lines = []
+    if "router_epoch" in epochs:  # sharded fleet
+        lines.append(f"router_epoch  {epochs['router_epoch']}")
+        for shard in epochs.get("shards", ()):
+            versions = ", ".join(
+                f"{cid}:{version}" for cid, version
+                in sorted(shard.get("category_versions", {}).items(),
+                          key=lambda kv: int(kv[0])))
+            lines.append(
+                f"shard {shard.get('shard')}  "
+                f"alive={shard.get('alive')} epoch={shard.get('epoch')} "
+                f"base={shard.get('epoch_base')} versions=[{versions}]")
+    else:
+        versions = ", ".join(
+            f"{cid}:{version}" for cid, version
+            in sorted(epochs.get("category_versions", {}).items(),
+                      key=lambda kv: int(kv[0])))
+        lines.append(f"index_epoch  {epochs.get('index_epoch')} "
+                     f"(base {epochs.get('epoch_base')}) "
+                     f"versions=[{versions}]")
+    return "\n".join(lines)
+
+
 def cmd_metrics(args) -> int:
-    """Probe a running server's ``{"metrics": true}`` endpoint."""
+    """Probe a running server's metrics (or, with ``--stats``, stats)."""
     import socket
 
+    probe = b'{"stats": true}\n' if args.stats else b'{"metrics": true}\n'
     try:
         with socket.create_connection((args.host, args.port),
                                       timeout=10.0) as sock:
-            sock.sendall(b'{"metrics": true}\n')
+            sock.sendall(probe)
             reply = b""
             while not reply.endswith(b"\n"):
                 chunk = sock.recv(65536)
@@ -827,6 +857,22 @@ def cmd_metrics(args) -> int:
               file=sys.stderr)
         return 1
     payload = json.loads(reply)
+    if args.stats:
+        stats = payload.get("stats")
+        if stats is None:
+            print(f"error: unexpected reply: {payload}", file=sys.stderr)
+            return 1
+        if args.as_json:
+            print(json.dumps(stats, indent=2))
+            return 0
+        for section in ("serving", "cache"):
+            for name, value in sorted(stats.get(section, {}).items()):
+                print(f"{section}.{name}  {value}")
+        for name, value in sorted(stats.get("hit_rates", {}).items()):
+            print(f"hit_rate.{name}  {value:.3f}")
+        if "epochs" in stats:
+            print(_format_epochs(stats["epochs"]))
+        return 0
     snapshot = payload.get("metrics")
     if snapshot is None:
         print(f"error: unexpected reply: {payload}", file=sys.stderr)

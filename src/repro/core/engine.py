@@ -384,6 +384,34 @@ class KOSREngine:
         return epoch
 
     @property
+    def epoch_base(self) -> int:
+        """The engine-level component of :attr:`index_epoch`.
+
+        Moves only on *wholesale* index changes — :meth:`update_edge`
+        (labels rebuilt, every category replaced) and :meth:`compact`
+        (physical buffers rewritten).  Incremental category updates move
+        only the per-index ``version`` counters.  Session caches use the
+        split to tell "one category changed" (partial invalidation) from
+        "everything changed" (full drop).
+        """
+        return self._epoch_base
+
+    def category_versions(self) -> Dict[CategoryId, int]:
+        """Per-category index version counters (``{}`` before build()).
+
+        A category's counter moves with every mutation of its inverted
+        index — overlay inserts/tombstones and compaction — but not with
+        lazy query-time overlay folds, which are purely physical.
+        Together with :attr:`epoch_base` this is the state a
+        :class:`~repro.service.cache.SessionCache` diffs to invalidate
+        only the categories an update actually touched.
+        """
+        if not self.inverted:
+            return {}
+        return {cid: getattr(il, "version", 0)
+                for cid, il in self.inverted.items()}
+
+    @property
     def service(self) -> QueryService:
         """The engine's warm :class:`QueryService` (created lazily).
 

@@ -162,6 +162,25 @@ def rebuild_after_structure_update(
     return labels, build_inverted_indexes(graph, labels)
 
 
+def apply_edge_mutation(graph: Graph, u: Vertex, v: Vertex,
+                        weight: Optional[Cost]) -> None:
+    """Apply one edge insert/change/delete to ``graph`` (no index work).
+
+    The shared primitive of every structure-update path: a weight change
+    is the paper's remove-insert pair, ``weight=None`` deletes (raising
+    ``KeyError`` when the edge does not exist, before any state moved).
+    The sharded fence protocol relies on parent and workers mutating
+    their own graph copies through this one function so the resulting
+    graphs — and therefore the rebuilt labels — are identical.
+    """
+    if weight is None:
+        graph.remove_edge(u, v)
+    else:
+        if graph.has_edge(u, v):
+            graph.remove_edge(u, v)
+        graph.add_edge(u, v, weight)
+
+
 def update_edge(
     graph: Graph,
     u: Vertex,
@@ -177,10 +196,5 @@ def update_edge(
     selects the representation of the rebuilt indexes (see
     :func:`rebuild_after_structure_update`).
     """
-    if weight is None:
-        graph.remove_edge(u, v)
-    else:
-        if graph.has_edge(u, v):
-            graph.remove_edge(u, v)
-        graph.add_edge(u, v, weight)
+    apply_edge_mutation(graph, u, v, weight)
     return rebuild_after_structure_update(graph, order, backend)

@@ -423,6 +423,14 @@ class AsyncQueryService:
             for name in CACHE_POPULATIONS:
                 metrics.gauge(f"repro_cache_{name}").set(
                     populations.get(name, 0))
+            # Epoch gauges for an unsharded backend (shard workers
+            # sample their own, labeled by shard, inside the fleet).
+            engine = getattr(self.service, "engine", None)
+            if engine is not None and hasattr(engine, "category_versions"):
+                metrics.gauge("repro_index_epoch").set(engine.index_epoch)
+                for cid, version in engine.category_versions().items():
+                    metrics.gauge("repro_category_version",
+                                  category=cid).set(version)
         remote = getattr(self.service, "metrics_snapshot", None)
         if callable(remote):
             return remote()

@@ -210,6 +210,12 @@ async def serve(engine, host: str = "127.0.0.1", port: int = 0, *,
             # sharded backend), so operators can watch index memory
             # without touching the process.
             payload["stats"]["index_memory"] = index_memory()
+        epoch_info = getattr(backend, "epoch_info", None)
+        if callable(epoch_info):
+            # Index epoch + per-category version counters (per shard on
+            # a fleet), so operators can watch updates — including a
+            # fenced edge swap — land without touching the process.
+            payload["stats"]["epochs"] = epoch_info()
         return payload
 
     async def _stats_response(request_id) -> dict:

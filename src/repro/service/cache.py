@@ -3,10 +3,20 @@
 The per-query engine path treats every query as a cold universe: a fresh
 finder (empty NL caches), a fresh ``dis(·, t)`` memo, a fresh SK-DB disk
 view.  :class:`SessionCache` keeps those artefacts warm across the
-queries of a serving session and drops them atomically whenever the
-engine's ``index_epoch`` moves (category updates, edge updates,
-compaction) — so the PR 2 update-correctness guarantees carry over
-unchanged: no query ever observes pre-update cache state.
+queries of a serving session and invalidates them whenever the engine's
+``index_epoch`` moves (category updates, edge updates, compaction) — so
+the PR 2 update-correctness guarantees carry over unchanged: no query
+ever observes pre-update cache state.
+
+Invalidation is **per category** where the epoch split allows it: a
+category update moves only that category's index ``version`` counter, so
+the session drops just the touched categories' warm cursors and SK-DB
+payloads and keeps everything else (the shared finder and its other
+categories' streams, every ``dis(·, t)`` kernel — labels are untouched
+by membership changes — and the topology-only CH).  A move of the
+engine-level ``epoch_base`` (edge update, compaction, wholesale rebuild)
+still drops the whole session in one shot.  Both paths leave post-update
+queries rebuilding exactly like a cold engine — see :meth:`SessionCache.validate`.
 
 Cold-equivalent accounting
 --------------------------
@@ -234,7 +244,8 @@ class CacheStats:
     __slots__ = ("finder_hits", "finder_misses", "dest_kernel_hits",
                  "dest_kernel_misses", "dest_kernel_evictions",
                  "cursor_evictions", "ch_hits", "ch_misses",
-                 "disk_view_hits", "disk_view_misses", "invalidations")
+                 "disk_view_hits", "disk_view_misses", "invalidations",
+                 "partial_invalidations", "cursors_invalidated")
 
     def __init__(self) -> None:
         for name in self.__slots__:
@@ -258,10 +269,12 @@ class SessionCache:
     Holds the session's warm finder (shared NL caches), the per-target
     ``dis(·, t)`` kernels, the lazy contraction hierarchy, and the SK-DB
     shard payloads/views.  :meth:`validate` is called at the top of every
-    service-path query; when the engine's ``index_epoch`` has moved —
-    category inserts/removals, edge updates, or compaction — the whole
-    cache is dropped in one shot, so post-update queries rebuild from
-    the authoritative indexes exactly like a cold engine.
+    service-path query; when the engine's ``index_epoch`` has moved it
+    drops exactly the warm state the mutation could have touched —
+    per-category for incremental membership updates, wholesale when the
+    engine-level ``epoch_base`` moved (edge updates, compaction) — so
+    post-update queries rebuild from the authoritative indexes exactly
+    like a cold engine.
 
     Within an epoch the cache would otherwise grow unboundedly (one
     kernel per distinct target, one cursor per distinct ``(source,
@@ -282,6 +295,8 @@ class SessionCache:
             raise ValueError("max_finders must be >= 1")
         self.engine = engine
         self.epoch = engine.index_epoch
+        self._epoch_base = self._snapshot_base()
+        self._versions = self._snapshot_versions()
         self.stats = CacheStats()
         self.max_dest_kernels = max_dest_kernels
         self.max_finders = max_finders
@@ -297,6 +312,10 @@ class SessionCache:
         self._metrics_published: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
+    def hit_rates(self) -> Dict[str, float]:
+        """This session's per-artefact cache hit rates (see CacheStats)."""
+        return self.stats.hit_rates()
+
     def populations(self) -> Dict[str, int]:
         """Current warm-artefact population sizes (gauge material).
 
@@ -329,19 +348,83 @@ class SessionCache:
                 last[name] = value
 
     # ------------------------------------------------------------------
+    def _snapshot_base(self) -> Optional[int]:
+        """The engine's ``epoch_base`` (None on engines without the split)."""
+        return getattr(self.engine, "epoch_base", None)
+
+    def _snapshot_versions(self) -> Dict[CategoryId, int]:
+        """The engine's per-category version counters ({} when unsplit)."""
+        versions = getattr(self.engine, "category_versions", None)
+        return versions() if callable(versions) else {}
+
     def validate(self) -> bool:
-        """Drop everything if the engine's index epoch moved; True if dropped."""
+        """Invalidate warm state the engine's index mutations obsoleted.
+
+        Returns True when anything was dropped.  Two granularities:
+
+        * ``epoch_base`` moved (edge update, compaction, wholesale
+          rebuild — or an engine without the base/version split): the
+          labels themselves may have changed, so *everything* drops and
+          ``stats.invalidations`` counts it.
+        * only per-category ``version`` counters moved (incremental
+          membership updates): just the changed categories' warm cursors
+          and SK-DB category payloads drop — the shared finder object,
+          other categories' streams, every ``dis(·, t)`` kernel (label
+          distances are invariant under membership changes), and the
+          topology-only CH all survive; ``stats.partial_invalidations``
+          counts the event and ``stats.cursors_invalidated`` the cursors
+          dropped.  Post-update queries on a changed category rebuild
+          its streams cold; kept streams are deterministic replays of an
+          unchanged index, so answers and ``QueryStats`` stay
+          bit-identical either way (pinned by the retention + parity
+          tests).
+        """
         current = self.engine.index_epoch
-        if current == self.epoch:
+        base = self._snapshot_base()
+        if current == self.epoch and base == self._epoch_base:
             return False
         self.epoch = current
-        self.stats.invalidations += 1
-        self._label_finder = None
-        self._dest_kernels.clear()
-        self._cursor_lru.clear()
-        self._ch = None
-        self._disk = None
+        if base is None or base != self._epoch_base:
+            self._epoch_base = base
+            self._versions = self._snapshot_versions()
+            self.stats.invalidations += 1
+            self._label_finder = None
+            self._dest_kernels.clear()
+            self._cursor_lru.clear()
+            self._ch = None
+            self._disk = None
+            return True
+        versions = self._snapshot_versions()
+        previous = self._versions
+        self._versions = versions
+        changed = {cid for cid in set(versions) | set(previous)
+                   if versions.get(cid) != previous.get(cid)}
+        self.stats.partial_invalidations += 1
+        self._drop_categories(changed)
         return True
+
+    def _drop_categories(self, changed) -> None:
+        """Drop only ``changed`` categories' warm cursors + disk payloads."""
+        finder = self._label_finder
+        if finder is not None:
+            cursors = getattr(finder, "_cursors", None)
+            if cursors is None:
+                # Unknown finder shape: no per-category hook, play safe.
+                self._label_finder = None
+                self._cursor_lru.clear()
+            else:
+                lru = self._cursor_lru
+                for key in [k for k in cursors if k[1] in changed]:
+                    del cursors[key]
+                    lru.pop(key, None)
+                    self.stats.cursors_invalidated += 1
+        disk = self._disk
+        if disk is not None:
+            for cid in changed:
+                disk._category_payloads.pop(cid, None)
+            for key in [k for k in disk._views
+                        if changed.intersection(k[0])]:
+                del disk._views[key]
 
     # ------------------------------------------------------------------
     def finder_view(self) -> ColdEquivalentFinderView:

@@ -277,6 +277,23 @@ class QueryService:
         :meth:`~repro.core.engine.KOSREngine.index_memory`)."""
         return self.engine.index_memory()
 
+    def epoch_info(self) -> Dict[str, object]:
+        """The engine's epoch/version counters (operator-facing).
+
+        What the TCP ``{"stats": true}`` reply surfaces so an operator
+        can watch updates land: the composite ``index_epoch`` session
+        caches validate against, its wholesale-change ``epoch_base``
+        component, and the per-category ``version`` counters whose
+        individual movement drives partial invalidation.
+        """
+        engine = self.engine
+        return {
+            "index_epoch": engine.index_epoch,
+            "epoch_base": getattr(engine, "epoch_base", 0),
+            "category_versions": dict(engine.category_versions())
+            if hasattr(engine, "category_versions") else {},
+        }
+
     @staticmethod
     def _sum_cache_stats(sessions: Sequence[SessionCache]) -> Dict[str, int]:
         """Aggregate per-worker session counters (threaded batches)."""

@@ -24,6 +24,14 @@ Contract highlights (pinned by ``tests/test_sharded.py``):
   worker and return only once all have acknowledged, so the next request
   (to any shard) observes the update exactly like a cold engine would;
   each worker's own epoch-versioned session cache handles invalidation.
+  ``update_edge`` works live too: a parent-side background label rebuild
+  followed by an epoch-fenced prepare/commit swap (queries keep serving
+  the old index until the fence commits).
+* **Broadcast recovery** — a worker that fails an update exchange gets a
+  bounded retry, then is quarantined and respawned from the parent's
+  current state (re-attaching the shared index file and replaying
+  pending updates where one exists); only when recovery itself fails is
+  the fleet poisoned, and then every later query fails fast.
 * **Lifecycle** — workers are spawned on construction and health-checked
   via :meth:`ping`; :meth:`close` drains in-flight requests (the
   per-shard request/response protocol is synchronous), asks each worker
@@ -93,7 +101,9 @@ class ShardedQueryService:
                  build_labels: bool = True,
                  index_path=None,
                  mmap_index: bool = False,
-                 metrics: Optional[bool] = None):
+                 metrics: Optional[bool] = None,
+                 update_retries: int = 1,
+                 fault_injection: Optional[Dict[int, dict]] = None):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.graph = graph
@@ -102,6 +112,25 @@ class ShardedQueryService:
         self.timeout_s = timeout_s
         self._rr = itertools.count()
         self._plans: Dict[tuple, QueryPlan] = {}
+        # Spawn configuration is kept so a quarantined worker can be
+        # respawned mid-life with the same shape as its fleet-mates.
+        self._overlay_ratio = overlay_ratio
+        self._max_dest_kernels = max_dest_kernels
+        self._max_finders = max_finders
+        #: retries of a failed update exchange before quarantine+respawn
+        self.update_retries = max(0, int(update_retries))
+        #: workers replaced by the quarantine-and-respawn recovery path
+        self.respawns = 0
+        #: categories touched by update broadcasts since the index file
+        #: was written — a respawned mmap worker must not re-attach
+        #: their pre-update file sections (see _respawn_worker_locked)
+        self._stale_log: set = set()
+        #: serialises the mutation entry points (category updates,
+        #: update_edge, compact) against each other; queries only take
+        #: the per-shard locks
+        self._update_lock = threading.Lock()
+        #: test-only per-shard worker fault specs (see worker._maybe_fault)
+        self._fault_injection = dict(fault_injection or {})
         # Workers enable their own registries at spawn: the parent's
         # enable state is captured here (or forced via ``metrics=``) and
         # travels as an explicit worker_main argument, because under the
@@ -184,6 +213,7 @@ class ShardedQueryService:
 
         ctx = mp.get_context(start_method) if start_method else \
             mp.get_context()
+        self._ctx = ctx
         self._conns = []
         self._procs = []
         self._locks = [threading.Lock() for _ in range(num_shards)]
@@ -198,7 +228,8 @@ class ShardedQueryService:
                 target=worker_main,
                 args=(child_conn, graph, worker_labels, owned, backend,
                       overlay_ratio, max_dest_kernels, max_finders,
-                      self.index_path, self._metrics_workers),
+                      self.index_path, self._metrics_workers, shard,
+                      self._fault_injection.get(shard)),
                 name=f"repro-shard-{shard}",
                 daemon=True,
             )
@@ -318,6 +349,18 @@ class ShardedQueryService:
                 raise payload
             return payload
 
+    def _exchange_locked(self, shard: int, msg: tuple, on_route=None):
+        """One sequence-stamped send/recv; the caller holds the shard lock."""
+        if self._closed:
+            raise ShardError(shard, "service is closed")
+        self._seqs[shard] += 1
+        seq = self._seqs[shard]
+        try:
+            pipe_send(self._conns[shard], (msg[0], seq, *msg[1:]))
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardError(shard, f"worker pipe closed ({exc!r})")
+        return self._recv(shard, seq, on_route=on_route)
+
     def _dispatch(self, shard: int, msg: tuple, on_route=None):
         """One synchronous request/response exchange with a worker."""
         metrics = _METRICS
@@ -325,21 +368,104 @@ class ShardedQueryService:
         if timed:
             t0 = time.perf_counter()
         with self._locks[shard]:
-            if self._closed:
-                raise ShardError(shard, "service is closed")
-            self._seqs[shard] += 1
-            seq = self._seqs[shard]
-            try:
-                pipe_send(self._conns[shard], (msg[0], seq, *msg[1:]))
-            except (BrokenPipeError, OSError) as exc:
-                raise ShardError(shard, f"worker pipe closed ({exc!r})")
-            payload = self._recv(shard, seq, on_route=on_route)
+            payload = self._exchange_locked(shard, msg, on_route=on_route)
         if timed:
             metrics.counter("repro_shard_requests_total",
                             shard=shard).inc()
             metrics.histogram("repro_shard_roundtrip_seconds",
                               shard=shard).observe(time.perf_counter() - t0)
         return payload
+
+    def _update_exchange(self, shard: int, msg: tuple,
+                         resend_after_respawn: bool = True):
+        """One update exchange with bounded retry, then respawn recovery.
+
+        Holds the shard lock across the *whole* recovery, so no query
+        can reach a half-recovered worker.  The ladder:
+
+        1. ordinary exchange; on failure, up to ``update_retries``
+           resends.  Every update message is idempotent — category
+           updates early-return when membership already matches,
+           ``prepare_edge`` restages, ``commit_edge`` checks its fence —
+           and the sequence protocol discards a slow first reply, so a
+           retry after a *timeout* (rather than a death) cannot
+           double-apply or cross wires.
+        2. quarantine-and-respawn: the worker process is terminated
+           (killing a hung one) and replaced from the parent's current
+           state (:meth:`_respawn_worker_locked`), then the message is
+           resent once — except when the respawn itself already implies
+           the message's effect (``commit_edge`` after the parent
+           adopted the post-update state), where the caller passes
+           ``resend_after_respawn=False``.
+        3. failure past that propagates; the caller decides whether the
+           fleet is diverged (commit path) or cleanly abortable (prepare
+           path).
+        """
+        with self._locks[shard]:
+            for _ in range(1 + self.update_retries):
+                try:
+                    return self._exchange_locked(shard, msg)
+                except ShardError:
+                    continue
+            self._respawn_worker_locked(shard)
+            if not resend_after_respawn:
+                return None
+            return self._exchange_locked(shard, msg)
+
+    def _respawn_worker_locked(self, shard: int) -> None:
+        """Replace one worker process in place (caller holds its lock).
+
+        The replacement spawns from the parent's *current* graph — whose
+        category membership already reflects every applied update — and
+        either re-attaches the shared index file (replaying pending
+        updates by marking the touched categories stale, so fault-ins
+        rebuild them from the current graph instead of the pre-update
+        file sections) or builds fresh from the parent's current labels.
+        Either way the new worker is bit-identical to its fleet-mates
+        before the shard lock is released, so no query can observe a
+        half-recovered shard.  Raises (propagating to the caller's
+        divergence handling) if the replacement fails its startup
+        handshake.
+        """
+        if self._closed:
+            raise ShardError(shard, "service is closed")
+        proc = self._procs[shard]
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=5.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5.0)
+        try:
+            self._conns[shard].close()
+        except OSError:
+            pass
+        owned = self.router.owned_categories(shard,
+                                             self.graph.num_categories)
+        worker_labels = None if self.index_path is not None else self.labels
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        replacement = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, self.graph, worker_labels, owned,
+                  self.backend, self._overlay_ratio,
+                  self._max_dest_kernels, self._max_finders,
+                  self.index_path, self._metrics_workers, shard, None),
+            name=f"repro-shard-{shard}",
+            daemon=True,
+        )
+        replacement.start()
+        child_conn.close()
+        self._conns[shard] = parent_conn
+        self._procs[shard] = replacement
+        # Startup handshake (seq 0; the live sequence counter keeps
+        # counting — the fresh worker simply echoes whatever it is sent).
+        self._recv(shard, 0, timeout_s=float("inf"))
+        if self.index_path is not None and self._stale_log:
+            self._exchange_locked(shard, ("stale", sorted(self._stale_log)))
+        self.respawns += 1
+        metrics = _METRICS
+        if metrics.enabled:
+            metrics.counter("repro_shard_respawns_total", shard=shard).inc()
 
     # ------------------------------------------------------------------
     # Queries
@@ -571,22 +697,60 @@ class ShardedQueryService:
             raise first_exc
         return results
 
-    def _broadcast_update(self, msg: tuple) -> None:
-        """An update broadcast that must reach *every* worker or none serve.
+    def _broadcast_recovering(self, msg: tuple,
+                              resend_after_respawn: bool = True) -> None:
+        """Send an update message to every worker with per-shard recovery.
 
-        If a worker fails mid-broadcast the fleet has diverged — some
-        shards applied the update, the rest never will — and serving on
-        would break the bit-identical invariant nondeterministically
-        (finder-free queries round-robin across shards).  The service is
-        poisoned instead: every later query fails fast with the divergence
-        message until the fleet is rebuilt.
+        Each shard's exchange goes through :meth:`_update_exchange`
+        (bounded retry, then quarantine-and-respawn).  All shards are
+        waited out even when one fails; the first failure is re-raised —
+        the *caller* decides whether that means divergence (commit-side
+        broadcasts) or a clean abort (prepare-side).
+        """
+        if self.num_shards == 1:
+            self._update_exchange(0, msg, resend_after_respawn)
+            return
+        pool = self._ensure_fanout_pool()
+        futures = [pool.submit(self._update_exchange, shard, msg,
+                               resend_after_respawn)
+                   for shard in range(self.num_shards)]
+        first_exc: Optional[BaseException] = None
+        for future in futures:
+            try:
+                future.result()
+            except BaseException as exc:
+                if first_exc is None:
+                    first_exc = exc
+        if first_exc is not None:
+            raise first_exc
+
+    def _broadcast_best_effort(self, msg: tuple) -> None:
+        """Deliver ``msg`` where possible, swallowing per-shard failures."""
+        for shard in range(self.num_shards):
+            try:
+                self._dispatch(shard, msg)
+            except Exception:
+                pass
+
+    def _broadcast_update(self, msg: tuple,
+                          resend_after_respawn: bool = True) -> None:
+        """An update broadcast that must leave *every* worker consistent.
+
+        A worker that fails its exchange gets a bounded retry, then the
+        quarantine-and-respawn recovery (:meth:`_update_exchange`) — a
+        killed or hung worker no longer poisons the fleet.  Only when
+        recovery itself fails has the fleet truly diverged — some shards
+        applied the update, this one cannot be brought to match — and
+        then the service is poisoned: every later query fails fast with
+        the divergence message until the fleet is rebuilt.
         """
         try:
-            self._broadcast(msg)
+            self._broadcast_recovering(msg, resend_after_respawn)
         except BaseException as exc:
             self._diverged = (
-                f"update broadcast {msg[0]!r} failed mid-fleet ({exc}); "
-                f"shards have diverged — rebuild the sharded service")
+                f"update broadcast {msg[0]!r} failed mid-fleet even after "
+                f"retry and worker respawn ({exc}); shards have diverged "
+                f"— rebuild the sharded service")
             raise
         self._epoch += 1
 
@@ -597,37 +761,115 @@ class ShardedQueryService:
         whichever shard serves it — observes the update (workers' session
         caches invalidate via their own index epochs).
         """
-        self.graph._check_vertex(v)
-        self.graph._check_category(cid)
-        if not self.graph.has_category(v, cid):
-            self.graph.assign_category(v, cid)
-        self._broadcast_update(("update", "add", v, cid))
+        with self._update_lock:
+            self.graph._check_vertex(v)
+            self.graph._check_category(cid)
+            if not self.graph.has_category(v, cid):
+                self.graph.assign_category(v, cid)
+            self._stale_log.add(cid)
+            self._broadcast_update(("update", "add", v, cid))
 
     def remove_vertex_from_category(self, v: Vertex, cid: CategoryId) -> None:
         """Remove ``cid`` from ``F(v)`` everywhere (symmetric broadcast)."""
-        self.graph._check_vertex(v)
-        self.graph._check_category(cid)
-        if self.graph.has_category(v, cid):
-            self.graph.unassign_category(v, cid)
-        self._broadcast_update(("update", "remove", v, cid))
+        with self._update_lock:
+            self.graph._check_vertex(v)
+            self.graph._check_category(cid)
+            if self.graph.has_category(v, cid):
+                self.graph.unassign_category(v, cid)
+            self._stale_log.add(cid)
+            self._broadcast_update(("update", "remove", v, cid))
 
     def compact(self) -> None:
         """Fold every worker's delta overlays in (broadcast, synchronized)."""
-        self._broadcast_update(("compact",))
+        with self._update_lock:
+            self._broadcast_update(("compact",))
 
-    def update_edge(self, *args, **kwargs) -> None:
-        """Structure updates rebuild labels — not supported live; fail clearly.
+    def update_edge(self, u: Vertex, v: Vertex, weight,
+                    order: Optional[Sequence[Vertex]] = None) -> None:
+        """Apply one edge insert/change/delete to the running fleet.
 
-        Hub labels are shared fleet-wide, so an edge change means
-        rebuilding and re-shipping them.  Until that exists (see
-        ROADMAP), rebuild the sharded service from the updated graph.
+        Zero-downtime, in three phases:
+
+        1. **Background rebuild** — the parent rebuilds the hub labels
+           from a scratch *copy* of its graph with the edge applied.  No
+           shard lock is held, so the fleet keeps serving queries from
+           the old index for the whole (dominant) label-build time.
+        2. **Prepare** — the new labels ship to every worker over the
+           sequence-stamped pipes; each stages a post-update engine
+           state (graph copy + shipped labels + rebuilt inverted indexes
+           for its materialised categories) without serving it.  A shard
+           that fails even after retry/respawn recovery aborts the whole
+           update: staged state is discarded fleet-wide, nothing was
+           committed anywhere, and the fleet keeps serving the *old*
+           index consistently — the error re-raises without poisoning.
+        3. **Epoch-fenced commit** — the parent first adopts the
+           post-update state itself (graph, labels; the pre-update index
+           file is retired), then broadcasts the fence: each worker
+           atomically swaps its staged state in, moving its engine's
+           ``epoch_base`` past every old epoch so session caches drop
+           wholesale.  A worker that fails its commit is quarantined and
+           respawned from the parent's already-committed state (so no
+           resend is needed); only if that recovery fails does the fleet
+           poison — divergence still fails fast.
+
+        Queries racing the update observe either the old state or the
+        new — each worker's swap is atomic under its shard lock — and
+        post-commit answers are bit-identical to a fresh unsharded
+        engine built from the updated graph (pinned by the sharded fuzz
+        and fault-injection suites).
         """
-        raise QueryError(
-            "update_edge is not supported on a running sharded service: "
-            "edge changes rebuild the hub labels every worker shares. "
-            "Close this service, apply the edge update to the graph "
-            "(e.g. through an unsharded engine), and construct a new "
-            "ShardedQueryService from the result.")
+        if self._diverged is not None:
+            raise ShardError(-1, self._diverged)
+        if self.labels is None:
+            raise QueryError(
+                "update_edge requires a fleet with labels; this one was "
+                "built with build_labels=False (topology-only)")
+        from repro.labeling.labels import LabelIndex
+        from repro.labeling.packed import PackedLabelIndex
+        from repro.labeling.pll_unweighted import build_labels_auto
+        from repro.labeling.updates import apply_edge_mutation
+
+        with self._update_lock:
+            self.graph._check_vertex(u)
+            self.graph._check_vertex(v)
+            # Phase 1: rebuild labels against a scratch copy; an invalid
+            # mutation (deleting a missing edge) raises here, before any
+            # parent or worker state moved.
+            work = self.graph.copy()
+            apply_edge_mutation(work, u, v, weight)
+            labels = build_labels_auto(work, order)
+            if self.backend == "packed" and isinstance(labels, LabelIndex):
+                labels = PackedLabelIndex.from_index(labels)
+            fence = self._epoch + 1
+            # Phase 2: prepare (recoverable, abortable).
+            try:
+                self._broadcast_recovering(
+                    ("prepare_edge", fence, u, v, weight, labels))
+            except BaseException:
+                self._broadcast_best_effort(("abort_edge", fence))
+                raise
+            # Phase 3: commit.  The parent adopts the post-update state
+            # *before* fencing the workers: a worker respawned during
+            # the commit broadcast is built from this state — already
+            # post-update, which is why the commit needs no resend.
+            apply_edge_mutation(self.graph, u, v, weight)
+            self.labels = labels
+            self._retire_index_file()
+            self._broadcast_update(("commit_edge", fence),
+                                   resend_after_respawn=False)
+
+    def _retire_index_file(self) -> None:
+        """Stop attaching the pre-edge-update index file.
+
+        A structure update obsoletes the saved labels wholesale, so
+        respawned/new workers must build from the parent's current
+        state instead of mmap-attaching the old file.  The pending
+        update log dies with the file: recovery spawns now start from a
+        graph + labels that already include everything.
+        """
+        self._cleanup_index_file()
+        self.index_path = None
+        self._stale_log.clear()
 
     # ------------------------------------------------------------------
     # Observability + lifecycle
@@ -650,6 +892,22 @@ class ShardedQueryService:
                            "error": str(exc)}
             reports.append(payload)
         return reports
+
+    def epoch_info(self) -> Dict[str, object]:
+        """Fleet epoch/version counters (operator-facing).
+
+        The router-level broadcast counter plus every worker's engine
+        epoch split (``epoch_base`` vs per-category ``version``
+        counters) — the view an operator watches to see a fenced edge
+        swap commit shard by shard.  Served in the TCP
+        ``{"stats": true}`` reply and by ``cli metrics --stats``.
+        """
+        shards = []
+        for report in self.ping():
+            shards.append({key: report.get(key)
+                           for key in ("shard", "alive", "epoch",
+                                       "epoch_base", "category_versions")})
+        return {"router_epoch": self._epoch, "shards": shards}
 
     def cache_stats(self) -> Dict[str, int]:
         """Worker session-cache counters summed across all shards."""

@@ -158,9 +158,11 @@ class _ShardWorker:
                  overlay_ratio: Optional[float],
                  max_dest_kernels: Optional[int],
                  max_finders: Optional[int],
-                 index_path: Optional[str] = None):
+                 index_path: Optional[str] = None,
+                 shard: int = 0):
         from repro.service.service import QueryService
 
+        self.shard = shard
         self.owned = list(owned)
         self.engine = _build_shard_engine(graph, labels, owned, backend,
                                           overlay_ratio, index_path)
@@ -172,6 +174,12 @@ class _ShardWorker:
         #: fault-in must rebuild from the (updated) graph + labels
         #: instead of attaching the pre-update mmap view
         self._stale_cids: set = set()
+        #: (fence, graph, labels, inverted) staged by ``prepare_edge``,
+        #: served only after the matching ``commit_edge``
+        self._staged = None
+        #: the last committed edge fence — makes commit retries (lost
+        #: replies, post-respawn resends) idempotent
+        self._committed_fence: Optional[int] = None
 
     # ------------------------------------------------------------------
     def ensure_categories(self, categories) -> None:
@@ -224,12 +232,29 @@ class _ShardWorker:
         return self.service.run_stream(query, options, on_route=on_route)
 
     def metrics_snapshot(self) -> dict:
-        """This worker's registry snapshot, gauges freshly sampled."""
+        """This worker's registry snapshot, gauges freshly sampled.
+
+        Besides the cache populations this samples the epoch gauges: the
+        worker's ``repro_index_epoch`` and one ``repro_category_version``
+        gauge per *owned* materialised category.  Owner-only sampling
+        matters because fleet merges add gauges across snapshots — each
+        category must be reported by exactly one worker, its owner, even
+        when other shards have faulted it in.
+        """
         from repro.obs.metrics import REGISTRY
 
         if REGISTRY.enabled:
             for name, value in self.service.session.populations().items():
                 REGISTRY.gauge(f"repro_cache_{name}").set(value)
+            engine = self.engine
+            REGISTRY.gauge("repro_index_epoch",
+                           shard=self.shard).set(engine.index_epoch)
+            if hasattr(engine, "category_versions"):
+                versions = engine.category_versions()
+                for cid in self.owned:
+                    if cid in versions:
+                        REGISTRY.gauge("repro_category_version",
+                                       category=cid).set(versions[cid])
         return REGISTRY.snapshot()
 
     def apply_update(self, op: str, v: int, cid: CategoryId) -> int:
@@ -262,12 +287,119 @@ class _ShardWorker:
             raise ValueError(f"unknown category update op {op!r}")
         return engine.index_epoch
 
+    # ------------------------------------------------------------------
+    # Epoch-fenced edge updates
+    # ------------------------------------------------------------------
+    def prepare_edge(self, fence: int, u: int, v: int, weight,
+                     labels) -> int:
+        """Stage the post-edge-update engine state; keep serving the old.
+
+        The parent already rebuilt the (expensive, topology-only) hub
+        labels once for the whole fleet; this worker applies the same
+        edge mutation to a *copy* of its graph and rebuilds only its own
+        materialised categories' inverted indexes against the shipped
+        labels.  Nothing the query path reads changes until
+        :meth:`commit_edge` swaps the staged state in — queries racing
+        the prepare keep answering from the old index.
+        """
+        from repro.core.engine import KOSREngine
+        from repro.labeling.inverted import build_inverted_index
+        from repro.labeling.labels import LabelIndex
+        from repro.labeling.packed import PackedLabelIndex
+        from repro.labeling.packed_inverted import build_packed_inverted_index
+
+        engine = self.engine
+        if engine.labels is None:
+            from repro.exceptions import QueryError
+
+            raise QueryError(
+                "this shard worker was built without labels "
+                "(build_labels=False); edge updates cannot be staged")
+        graph = engine.graph.copy()
+        _updates.apply_edge_mutation(graph, u, v, weight)
+        if engine.backend == "packed":
+            if isinstance(labels, LabelIndex):
+                labels = PackedLabelIndex.from_index(labels)
+            inverted = {cid: build_packed_inverted_index(graph, labels, cid)
+                        for cid in engine.inverted}
+            KOSREngine._apply_overlay_ratio(inverted, engine._overlay_ratio)
+        else:
+            if isinstance(labels, PackedLabelIndex):
+                labels = labels.to_index()
+            inverted = {cid: build_inverted_index(graph, labels, cid)
+                        for cid in engine.inverted}
+        self._staged = (fence, graph, labels, inverted)
+        return fence
+
+    def commit_edge(self, fence: int) -> int:
+        """Atomically swap the staged state in; returns the new epoch.
+
+        Idempotent per fence: a retried commit (the reply got lost, or
+        the parent resent after recovering this worker's pipe) finds the
+        fence already committed and acknowledges again without touching
+        the engine.
+        """
+        engine = self.engine
+        staged = self._staged
+        if staged is None or staged[0] != fence:
+            if self._committed_fence == fence:
+                return engine.index_epoch
+            raise ValueError(
+                f"commit_edge fence {fence} does not match staged state "
+                f"({'fence %d' % staged[0] if staged else 'nothing staged'})")
+        _, graph, labels, inverted = staged
+        self._staged = None
+        # Stamp past the outgoing epoch before the swap: the fresh
+        # indexes restart their version counters at zero, and every
+        # session cache must see a wholesale (epoch_base) change.
+        engine._epoch_base = engine.index_epoch + 1
+        engine.graph = graph
+        engine.labels = labels
+        engine.inverted = inverted
+        engine._ch = None
+        engine._store = None
+        engine._index_file = None
+        self._stale_cids.clear()
+        self._committed_fence = fence
+        return engine.index_epoch
+
+    def abort_edge(self, fence: int) -> bool:
+        """Discard a staged edge update (prepare failed on some shard)."""
+        staged = self._staged
+        if staged is not None and staged[0] == fence:
+            self._staged = None
+            return True
+        return False
+
+    def mark_stale(self, cids) -> list:
+        """Categories updated since the index file was written are stale.
+
+        A freshly (re)spawned mmap worker attaches the file's sections,
+        which predate any updates broadcast after the file was saved.
+        The parent replays those pending updates by naming the touched
+        categories: their file views are dropped and marked stale, so
+        the next query fault-ins rebuild them from the worker's
+        update-current graph + labels — bit-identical to an index that
+        was patched live (the fuzz suite pins rebuilt == patched).
+        """
+        engine = self.engine
+        for cid in cids:
+            self._stale_cids.add(cid)
+            il = engine.inverted.get(cid)
+            if il is not None and getattr(il, "is_mmap", False):
+                del engine.inverted[cid]
+        return sorted(self._stale_cids)
+
     def health(self) -> dict:
+        engine = self.engine
         return {
             "pid": os.getpid(),
-            "epoch": self.engine.index_epoch,
+            "epoch": engine.index_epoch,
+            "epoch_base": getattr(engine, "epoch_base", 0),
+            "category_versions": dict(engine.category_versions())
+            if hasattr(engine, "category_versions") else {},
             "owned_categories": list(self.owned),
-            "materialized_categories": sorted(self.engine.inverted),
+            "materialized_categories": sorted(engine.inverted),
         }
 
     def index_memory(self) -> dict:
@@ -313,9 +445,45 @@ def _recv_watched(conn, parent_pid: int):
             raise EOFError("parent process died")
 
 
+def _maybe_fault(fault: Optional[dict], kind: str, phase: str) -> None:
+    """Test-only fault injection: die or hang at a matching message point.
+
+    ``fault`` is the spec this worker was spawned with (None in
+    production):  ``{"kind": "update", "when": "before"|"after",
+    "action": "die"|"hang", "times": 1, "skip": 0}``.  ``"before"``
+    fires after the message is received but before the handler runs
+    (the update is lost); ``"after"`` fires after the handler ran but
+    before the reply is sent (the update applied, the acknowledgement
+    is lost) — the two halves of "killed mid-broadcast" the recovery
+    path must both survive.  ``"hang"`` sleeps far past any request
+    timeout instead of exiting, exercising the parent's timeout →
+    respawn path (terminate kills the sleeper).  ``"skip"`` lets the
+    first N matching points pass unharmed, to fault a later message in
+    a sequence (e.g. die on the second update, not the first).
+    """
+    if not fault or fault.get("kind") != kind \
+            or fault.get("when", "before") != phase:
+        return
+    skip = fault.get("skip", 0)
+    if skip > 0:
+        fault["skip"] = skip - 1
+        return
+    remaining = fault.get("times", 1)
+    if remaining <= 0:
+        return
+    fault["times"] = remaining - 1
+    if fault.get("action") == "hang":
+        import time
+
+        time.sleep(fault.get("hang_s", 3600.0))
+    else:
+        os._exit(1)
+
+
 def worker_main(conn, graph, labels, owned, backend, overlay_ratio,
                 max_dest_kernels, max_finders, index_path=None,
-                metrics_enabled: bool = False) -> None:
+                metrics_enabled: bool = False, shard: int = 0,
+                fault: Optional[dict] = None) -> None:
     """Entry point of one worker process: serve the pipe until shutdown.
 
     Messages are ``(kind, seq, *args)`` and every one is answered exactly
@@ -341,9 +509,11 @@ def worker_main(conn, graph, labels, owned, backend, overlay_ratio,
         from repro.obs.metrics import REGISTRY
 
         REGISTRY.enable()
+    fault = dict(fault) if fault else None
     try:
         worker = _ShardWorker(graph, labels, owned, backend, overlay_ratio,
-                              max_dest_kernels, max_finders, index_path)
+                              max_dest_kernels, max_finders, index_path,
+                              shard)
     except BaseException as exc:  # startup failure: report, then exit
         try:
             pipe_send(conn, ("err", 0, _safe_exception(exc)))
@@ -366,6 +536,7 @@ def worker_main(conn, graph, labels, owned, backend, overlay_ratio,
             except (BrokenPipeError, OSError):
                 pass
             return
+        _maybe_fault(fault, kind, "before")
         try:
             if kind == "query":
                 query, options = msg[2:]
@@ -383,6 +554,16 @@ def worker_main(conn, graph, labels, owned, backend, overlay_ratio,
             elif kind == "update":
                 op, v, cid = msg[2:]
                 reply = ("ok", seq, worker.apply_update(op, v, cid))
+            elif kind == "prepare_edge":
+                fence, u, v, weight, new_labels = msg[2:]
+                reply = ("ok", seq, worker.prepare_edge(fence, u, v, weight,
+                                                        new_labels))
+            elif kind == "commit_edge":
+                reply = ("ok", seq, worker.commit_edge(msg[2]))
+            elif kind == "abort_edge":
+                reply = ("ok", seq, worker.abort_edge(msg[2]))
+            elif kind == "stale":
+                reply = ("ok", seq, worker.mark_stale(msg[2]))
             elif kind == "compact":
                 worker.engine.compact()
                 reply = ("ok", seq, worker.engine.index_epoch)
@@ -396,6 +577,7 @@ def worker_main(conn, graph, labels, owned, backend, overlay_ratio,
                 raise ValueError(f"unknown shard message kind {kind!r}")
         except Exception as exc:
             reply = ("err", seq, _safe_exception(exc))
+        _maybe_fault(fault, kind, "after")
         try:
             pipe_send(conn, reply)
         except (BrokenPipeError, OSError):

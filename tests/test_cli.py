@@ -362,6 +362,51 @@ class TestServeCommand:
         assert "already in use" in err and "--port" in err
 
 
+class TestMetricsCommand:
+    def test_stats_probe_prints_sections_and_epochs(self, capsys):
+        """`cli metrics --stats` against a live server, end to end."""
+        import asyncio
+        import threading
+
+        from repro import KOSREngine
+        from repro.graph.paper import paper_figure1_graph
+        from repro.server.tcp import serve
+
+        engine = KOSREngine.build(paper_figure1_graph())
+        ready = threading.Event()
+        done = threading.Event()
+        info = {}
+
+        def runner():
+            async def scenario():
+                server = await serve(engine, "127.0.0.1", 0)
+                info["port"] = server.sockets[0].getsockname()[1]
+                ready.set()
+                while not done.is_set():
+                    await asyncio.sleep(0.02)
+                server.close()
+                await server.wait_closed()
+                await server.query_service.close()
+
+            asyncio.run(scenario())
+
+        thread = threading.Thread(target=runner)
+        thread.start()
+        try:
+            assert ready.wait(10)
+            code = main(["metrics", "--port", str(info["port"]),
+                         "--stats"])
+        finally:
+            done.set()
+            thread.join(10)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving.executed" in out
+        assert "hit_rate.finder" in out
+        assert "index_epoch  0 (base 0)" in out
+        assert "versions=[" in out
+
+
 class TestPreprocessAndIndexedQuery:
     def test_preprocess_writes_artifacts(self, fig1_file, tmp_path, capsys):
         index_dir = tmp_path / "index"

@@ -124,7 +124,9 @@ class TestSessionCache:
                                outsider, 0)
         assert engine.index_epoch > before
 
-    def test_cache_invalidated_on_epoch_change(self):
+    def test_category_update_invalidates_only_that_category(self):
+        """A membership update drops the touched category's cursors only:
+        the shared finder object (and other categories' streams) survive."""
         engine = KOSREngine.build(_graph(23))
         session = SessionCache(engine)
         view = session.finder_view()
@@ -132,10 +134,23 @@ class TestSessionCache:
         outsider = next(v for v in range(engine.graph.num_vertices)
                         if not engine.graph.has_category(v, 0))
         engine.add_vertex_to_category(outsider, 0)
-        assert session.validate() is True  # dropped
-        assert session.finder_view()._shared is not view._shared
-        assert session.stats.invalidations == 1
+        assert session.validate() is True  # something dropped
+        assert session.finder_view()._shared is view._shared  # finder kept
+        assert session.stats.invalidations == 0
+        assert session.stats.partial_invalidations == 1
         assert session.validate() is False  # stable again
+
+    def test_edge_update_still_drops_everything(self):
+        """A structure update moves epoch_base: wholesale invalidation."""
+        engine = KOSREngine.build(_graph(23))
+        session = SessionCache(engine)
+        view = session.finder_view()
+        u, v, w = next(iter(engine.graph.edges()))
+        engine.update_edge(u, v, w * 2)
+        assert session.validate() is True
+        assert session.finder_view()._shared is not view._shared  # dropped
+        assert session.stats.invalidations == 1
+        assert session.validate() is False
 
     def test_lazy_query_time_patch_does_not_move_epoch(self):
         """Folding overlay deltas into buffers mid-query is physical only."""
@@ -159,6 +174,77 @@ class TestSessionCache:
         assert batch.unfinished == 0
         assert [r.query for r in batch] == queries  # input order kept
         assert batch.queries_per_second > 0
+
+
+class TestCacheRetention:
+    """Per-category invalidation: untouched categories stay warm.
+
+    The satellite contract: after updating category A, category B's warm
+    entries survive (asserted through ``SessionCache.hit_rates()`` /
+    stats counters) and A's cursors are the only ones dropped — while
+    answers and ``QueryStats`` on both categories stay bit-identical to
+    fresh engines.
+    """
+
+    def _warm_two_categories(self):
+        g = _graph(31)
+        engine = KOSREngine.build(g)
+        service = engine.service
+        qa = make_query(g, 0, g.num_vertices - 1, [0], k=2)
+        qb = make_query(g, 1, g.num_vertices - 1, [1], k=2)
+        service.run(qa, method="SK")
+        service.run(qb, method="SK")
+        return engine, service, qa, qb
+
+    def test_update_a_keeps_b_warm(self):
+        engine, service, qa, qb = self._warm_two_categories()
+        session = service.session
+        cursors = session._label_finder._cursors
+        assert (0, 0) in cursors and (1, 1) in cursors
+        outsider = next(v for v in range(engine.graph.num_vertices)
+                        if not engine.graph.has_category(v, 0))
+        engine.add_vertex_to_category(outsider, 0)
+        assert session.validate() is True
+        # A's cursor is the only thing dropped; B's stream survives.
+        assert (0, 0) not in cursors
+        assert (1, 1) in cursors
+        assert session.stats.cursors_invalidated == 1
+        assert session.stats.partial_invalidations == 1
+        assert session.stats.invalidations == 0
+
+    def test_b_hits_warm_after_a_update_with_cold_parity(self):
+        engine, service, qa, qb = self._warm_two_categories()
+        outsider = next(v for v in range(engine.graph.num_vertices)
+                        if not engine.graph.has_category(v, 0))
+        engine.add_vertex_to_category(outsider, 0)
+        before = service.session.stats.as_dict()
+        warm_b = service.run(qb, method="SK")
+        after = service.session.stats.as_dict()
+        # The finder lookup was a hit: B was served from retained state.
+        assert after["finder_hits"] == before["finder_hits"] + 1
+        assert after["finder_misses"] == before["finder_misses"]
+        assert service.session.hit_rates()["finder"] > 0.0
+        # ... and both categories still answer exactly like fresh engines.
+        fresh = KOSREngine.build(engine.graph.copy(), backend="object")
+        assert_same_outcome(warm_b, fresh.run(qb, method="SK"))
+        assert_same_outcome(service.run(qa, method="SK"),
+                            fresh.run(qa, method="SK"))
+
+    def test_dest_kernels_and_ch_survive_category_updates(self):
+        engine, service, qa, qb = self._warm_two_categories()
+        session = service.session
+        kernels_before = dict(session._dest_kernels)
+        service.run(make_query(engine.graph, 0, engine.graph.num_vertices - 1,
+                               [0], k=1), method="GSP-CH")
+        ch_before = session._ch
+        assert kernels_before and ch_before is not None
+        outsider = next(v for v in range(engine.graph.num_vertices)
+                        if not engine.graph.has_category(v, 1))
+        engine.add_vertex_to_category(outsider, 1)
+        session.validate()
+        # Labels and topology are untouched by membership changes.
+        assert dict(session._dest_kernels) == kernels_before
+        assert session._ch is ch_before
 
 
 class TestCachePolicy:

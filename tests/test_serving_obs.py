@@ -518,6 +518,9 @@ class TestTcpMetricsProbe:
     def test_disabled_registry_reports_disabled(self, engine):
         from repro.server.tcp import serve
 
+        if REGISTRY.enabled:  # REPRO_METRICS=1 force-enables it
+            pytest.skip("registry force-enabled for this run")
+
         async def scenario():
             server = await serve(engine, "127.0.0.1", 0)
             port = server.sockets[0].getsockname()[1]
@@ -565,6 +568,44 @@ class TestTcpMetricsProbe:
         assert by_name["repro_tcp_connections"]["value"] == 1
         # serving gauges sampled at probe time
         assert by_name["repro_serving_queue_depth"]["type"] == "gauge"
+        # epoch/version gauges sampled at probe time
+        assert by_name["repro_index_epoch"]["value"] == engine.index_epoch
+        assert by_name["repro_category_version"]["type"] == "gauge"
+
+
+class TestEpochGauges:
+    def test_fleet_samples_each_category_version_exactly_once(
+            self, enabled_registry):
+        """Owner-only sampling: ``merge_snapshots`` *adds* gauges, so a
+        category version reported by every worker would multiply by the
+        shard count.  Each worker samples only its owned categories, and
+        its index epoch is labeled per shard instead of summed."""
+        g = _graph(59, cats=4)
+        sharded = ShardedQueryService(g.copy(), 2)
+        try:
+            moved = next(v for v in range(g.num_vertices)
+                         if not sharded.graph.has_category(v, 2))
+            sharded.add_vertex_to_category(moved, 2)
+            snap = sharded.metrics_snapshot()
+            versions = {m["labels"]["category"]: m["value"]
+                        for m in snap["metrics"]
+                        if m["name"] == "repro_category_version"}
+            # One gauge per category, valued at the OWNER's counter —
+            # not a sum across every worker that materialised it.
+            owner = {}
+            for report in sharded.ping():
+                for cid in sharded.router.owned_categories(
+                        report["shard"], 4):
+                    owner[str(cid)] = report["category_versions"][cid]
+            assert versions == owner
+            assert versions["2"] >= 1 and versions["0"] == 0
+            epochs = {m["labels"]["shard"]: m["value"]
+                      for m in snap["metrics"]
+                      if m["name"] == "repro_index_epoch"}
+            assert set(epochs) == {"0", "1"}
+            assert epochs["0"] >= 1  # the owner's index moved
+        finally:
+            sharded.close()
 
 
 class TestFourShardAcceptance:

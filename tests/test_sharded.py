@@ -157,10 +157,53 @@ class TestShardedParity:
         with pytest.raises(QueryError, match="SK-DB"):
             sharded.run(q, QueryOptions(method="SK-DB"))
 
-    def test_update_edge_fails_with_guidance(self, setting):
-        _, sharded = setting
-        with pytest.raises(QueryError, match="update_edge"):
-            sharded.update_edge(0, 1, 2.0)
+    def test_update_edge_live_parity(self):
+        """Edge updates apply fleet-wide without a restart.
+
+        Answers after the epoch-fenced swap must be bit-identical to a
+        fresh unsharded engine built from the post-update graph.
+        """
+        from repro.labeling.updates import apply_edge_mutation
+
+        g = _graph(31)
+        sharded = ShardedQueryService(g.copy(), 2)
+        try:
+            q = sharded.make_query(0, 30, [0, 1], k=3)
+            sharded.run(q, QueryOptions())  # warm the old index first
+            sharded.update_edge(0, 1, 0.25)
+
+            expected = g.copy()
+            apply_edge_mutation(expected, 0, 1, 0.25)
+            fresh = KOSREngine.build(expected)
+            assert_same_outcome(sharded.run(q, QueryOptions()),
+                                fresh.run(q))
+        finally:
+            sharded.close()
+
+    def test_update_edge_rejected_on_topology_only_fleet(self):
+        sharded = ShardedQueryService(_graph(31), 2, build_labels=False)
+        try:
+            with pytest.raises(QueryError, match="build_labels=False"):
+                sharded.update_edge(0, 1, 2.0)
+        finally:
+            sharded.close()
+
+    def test_update_edge_bad_delete_leaves_fleet_serving(self):
+        """Deleting a missing edge raises before any state moves."""
+        g = _graph(31)
+        sharded = ShardedQueryService(g.copy(), 2)
+        try:
+            present = {(a, b) for a, b, _ in g.edges()}
+            u, v = next((u, v) for u in range(5) for v in range(5, 12)
+                        if (u, v) not in present)
+            with pytest.raises(KeyError):
+                sharded.update_edge(u, v, None)
+            q = sharded.make_query(0, 30, [0, 1], k=2)
+            fresh = KOSREngine.build(g.copy())
+            assert_same_outcome(sharded.run(q, QueryOptions()),
+                                fresh.run(q))
+        finally:
+            sharded.close()
 
     def test_strict_budget_error_crosses_the_process_boundary(self, setting):
         from repro.exceptions import BudgetExceededError
@@ -435,24 +478,34 @@ class TestLifecycle:
             proc.join(timeout=10)
             assert not proc.is_alive()
 
-    def test_failed_update_broadcast_poisons_the_fleet(self, monkeypatch):
-        """Divergent fleets fail fast instead of serving inconsistently."""
-        sharded = ShardedQueryService(_graph(31), 2)
+    def test_unrecoverable_update_broadcast_poisons_the_fleet(
+            self, monkeypatch):
+        """Divergent fleets fail fast instead of serving inconsistently.
+
+        A broadcast failure is now recovered by retry + respawn; only
+        when even the respawn fails does the fleet poison itself.
+        """
+        sharded = ShardedQueryService(_graph(31), 2, update_retries=0)
         try:
             q = sharded.make_query(0, 10, [0], k=1)
             sharded.run(q, QueryOptions())
-            original = ShardedQueryService._dispatch
+            original = ShardedQueryService._exchange_locked
 
-            def failing_dispatch(self, shard, msg):
+            def failing_exchange(self, shard, msg, on_route=None):
                 if msg[0] == "update" and shard == 1:
                     raise ShardError(shard, "worker died mid-broadcast")
-                return original(self, shard, msg)
+                return original(self, shard, msg, on_route=on_route)
 
-            monkeypatch.setattr(ShardedQueryService, "_dispatch",
-                                failing_dispatch)
-            with pytest.raises(ShardError, match="mid-broadcast"):
+            def failing_respawn(self, shard):
+                raise ShardError(shard, "respawn denied by test")
+
+            monkeypatch.setattr(ShardedQueryService, "_exchange_locked",
+                                failing_exchange)
+            monkeypatch.setattr(ShardedQueryService,
+                                "_respawn_worker_locked", failing_respawn)
+            with pytest.raises(ShardError, match="respawn denied"):
                 sharded.add_vertex_to_category(0, 1)
-            monkeypatch.setattr(ShardedQueryService, "_dispatch", original)
+            monkeypatch.undo()
             with pytest.raises(ShardError, match="diverged"):
                 sharded.run(q, QueryOptions())
         finally:
@@ -593,6 +646,14 @@ class TestShardedTCP:
         for shard in memory["shards"]:
             assert shard["total_resident"] > 0
             assert "rss_bytes" in shard and "uss_bytes" in shard
+        # Epoch/version state arrives per shard too.
+        epochs = stats["stats"]["epochs"]
+        assert epochs["router_epoch"] == sharded._epoch
+        assert len(epochs["shards"]) == sharded.num_shards
+        for report in epochs["shards"]:
+            assert report["alive"] is True
+            assert report["epoch"] == report["epoch_base"] + \
+                sum(report["category_versions"].values())
 
 
 class TestShardedCLI:

@@ -137,6 +137,42 @@ def test_fuzz_mmap_attached_engine_differential(seed, tmp_path):
     assert counts.get("add", 0) > 0 or counts.get("remove", 0) > 0
 
 
+@pytest.mark.parametrize("seed", (202, 505))
+def test_fuzz_sharded_fleet_differential(seed):
+    """A 2-shard fleet absorbs the same fuzz interleaving.
+
+    Category updates broadcast, edge updates go through the epoch-fenced
+    prepare/commit path, and after every mutation a random query is
+    checked bit-identically (results AND stats) against a fresh
+    unsharded object engine over the fleet's current graph.
+    """
+    from repro import QueryOptions, ShardedQueryService
+    from test_backend_parity import assert_same_outcome
+
+    g = _make_graph(seed)
+    sharded = ShardedQueryService(g.copy(), 2)
+    rng = random.Random(seed * 11 + 3)
+    counts = {}
+    try:
+        for _ in range(15):
+            kind = _random_mutation(sharded.graph, sharded, rng)
+            counts[kind] = counts.get(kind, 0) + 1
+            fg = sharded.graph
+            q = make_query(fg, rng.randrange(fg.num_vertices),
+                           rng.randrange(fg.num_vertices),
+                           rng.sample(range(fg.num_categories),
+                                      rng.choice((1, 2))),
+                           k=rng.randint(1, 3))
+            fresh = KOSREngine.build(fg.copy(), backend="object")
+            for method in ("SK", "PK"):
+                options = QueryOptions(method=method)
+                assert_same_outcome(sharded.run(q, options),
+                                    fresh.run(q, options=options))
+    finally:
+        sharded.close()
+    assert counts.get("edge", 0) > 0  # the interleaving hit update_edge
+
+
 def test_fuzz_step_budget_meets_acceptance():
     """The suite performs >= 200 randomized steps across >= 5 seeds."""
     assert len(SEEDS) >= 5
